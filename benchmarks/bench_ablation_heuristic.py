@@ -1,0 +1,67 @@
+"""Ablation: the Section VI branching score variants on tree inputs.
+
+Compares the reproduction's default QUBE(PO) policy (``levelsub``: prefix
+position first, then the subtree score) against the pure Section VI score
+(``subtree``), the tree-blind counter ranking (``counter``) and the naive
+static order — on the same non-prenex instances. Expected shape: the two
+prefix-aware policies dominate the tree-blind ones on the DIA sample, and
+``levelsub`` is the best overall (the reason it is the default; see the
+heuristics module docstring).
+"""
+
+from common import save
+from repro.evalx.runner import Budget, solve_po
+from repro.evalx.report import render_kv
+from repro.generators.ncf import NcfParams, generate_ncf
+from repro.smv.diameter import diameter_qbf
+from repro.smv.models import DmeModel, RingModel, SemaphoreModel
+
+BUDGET = Budget(decisions=6000, seconds=15.0)
+POLICIES = ("levelsub", "subtree", "counter", "naive")
+
+
+def _sample():
+    instances = [
+        ("sem2-n2", diameter_qbf(SemaphoreModel(2), 2, "tree")),
+        ("sem3-n1", diameter_qbf(SemaphoreModel(3), 1, "tree")),
+        ("dme4-n3", diameter_qbf(DmeModel(4), 3, "tree")),
+        ("ring3-n2", diameter_qbf(RingModel(3), 2, "tree")),
+    ]
+    for seed in range(3):
+        instances.append(
+            ("ncf-%d" % seed, generate_ncf(NcfParams(dep=6, var=4, cls=12, lpc=5, seed=seed)))
+        )
+    return instances
+
+
+def test_ablation_heuristic(benchmark):
+    sample = _sample()
+    benchmark.pedantic(
+        lambda: solve_po(sample[0][1], budget=BUDGET, policy="levelsub"),
+        rounds=1,
+        iterations=1,
+    )
+
+    totals = {}
+    timeouts = {}
+    for policy in POLICIES:
+        cost = 0
+        t_outs = 0
+        for label, phi in sample:
+            m = solve_po(phi, label, budget=BUDGET, policy=policy)
+            cost += m.cost
+            t_outs += int(m.timed_out)
+        totals[policy] = cost
+        timeouts[policy] = t_outs
+
+    save(
+        "ablation_heuristic.txt",
+        render_kv(
+            "Branching-policy ablation (total decisions on tree inputs)",
+            {p: "%d decisions, %d timeouts" % (totals[p], timeouts[p]) for p in POLICIES},
+        ),
+    )
+
+    # Shape: the default prefix-aware policy beats the tree-blind ones.
+    assert totals["levelsub"] <= totals["counter"]
+    assert timeouts["levelsub"] <= min(timeouts[p] for p in POLICIES)

@@ -1,0 +1,96 @@
+"""Ablation: how much of the PO advantage comes from learning?
+
+Section V argues prenexing hurts both the branching heuristic *and* the
+learning mechanism. This ablation runs TO/PO with learning enabled and
+disabled on a DIA + NCF sample. Expected shape:
+
+* with learning, the PO advantage includes the shorter-goods effect
+  (Section VII-C): learned cubes are shorter under the tree prefix;
+* without learning both solvers degrade, and the gap narrows to the
+  branching effect alone.
+"""
+
+from common import save
+from repro.evalx.runner import Budget, solve_po, solve_to
+from repro.evalx.report import render_kv
+from repro.generators.ncf import NcfParams, generate_ncf
+from repro.smv.diameter import diameter_qbf
+from repro.smv.models import DmeModel, SemaphoreModel
+
+BUDGET = Budget(decisions=5000, seconds=15.0)
+
+
+def _sample():
+    instances = []
+    for seed in range(4):
+        instances.append(
+            ("ncf-%d" % seed, generate_ncf(NcfParams(dep=6, var=4, cls=12, lpc=5, seed=seed)))
+        )
+    instances.append(("sem2-n2", diameter_qbf(SemaphoreModel(2), 2, "tree")))
+    instances.append(("dme4-n3", diameter_qbf(DmeModel(4), 3, "tree")))
+    return instances
+
+
+def test_ablation_learning(benchmark):
+    sample = _sample()
+    benchmark.pedantic(
+        lambda: solve_po(sample[0][1], budget=BUDGET), rounds=1, iterations=1
+    )
+
+    totals = {}
+    cube_sizes = {}
+    for learning in (True, False):
+        po_cost = to_cost = 0
+        po_cube_lits = po_cubes = 0
+        for label, phi in sample:
+            po = solve_po(
+                phi, label, budget=BUDGET, learn_clauses=learning, learn_cubes=learning
+            )
+            to = solve_to(
+                phi, label, budget=BUDGET, learn_clauses=learning, learn_cubes=learning
+            )
+            po_cost += po.cost
+            to_cost += to.cost
+            po_cube_lits += po.learned_cubes
+        tag = "learning" if learning else "no-learning"
+        totals["PO-decisions (%s)" % tag] = po_cost
+        totals["TO-decisions (%s)" % tag] = to_cost
+
+    save("ablation_learning.txt", render_kv("Learning ablation (total decisions)", totals))
+
+    # Learning must help both variants on this sample.
+    assert totals["PO-decisions (learning)"] <= totals["PO-decisions (no-learning)"]
+    assert totals["TO-decisions (learning)"] <= totals["TO-decisions (no-learning)"]
+    # And PO stays ahead of TO with learning enabled.
+    assert totals["PO-decisions (learning)"] <= totals["TO-decisions (learning)"] * 1.2
+
+
+def test_cube_lengths_shorter_under_tree(benchmark):
+    """The Section VII-C effect: goods are shorter under the tree prefix."""
+    tree = diameter_qbf(SemaphoreModel(2), 2, "tree")
+    flat = diameter_qbf(SemaphoreModel(2), 2, "prenex")
+
+    def run_pair():
+        po = solve_po(tree, budget=BUDGET)
+        to = solve_po(flat, budget=BUDGET)
+        return po, to
+
+    po, to = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    from repro.core.solver import QdpllSolver, SolverConfig
+
+    po_solver = QdpllSolver(tree, SolverConfig(max_decisions=BUDGET.decisions))
+    po_solver.solve()
+    to_solver = QdpllSolver(flat, SolverConfig(max_decisions=BUDGET.decisions))
+    to_solver.solve()
+    po_avg = po_solver.stats.learned_cube_lits / max(1, po_solver.stats.learned_cubes)
+    to_avg = to_solver.stats.learned_cube_lits / max(1, to_solver.stats.learned_cubes)
+    save(
+        "ablation_cube_lengths.txt",
+        render_kv(
+            "Average learned good length (Section VII-C effect)",
+            {"tree prefix (PO)": "%.1f literals" % po_avg,
+             "total order (TO)": "%.1f literals" % to_avg},
+        ),
+    )
+    assert po_avg < to_avg

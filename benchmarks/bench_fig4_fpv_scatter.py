@@ -1,0 +1,29 @@
+"""Figure 4: QUBE(TO) vs QUBE(PO) scatter on the FPV suite.
+
+Paper shape: bullets mostly above the diagonal (PO wins), but with a
+visible population below it — TO is sometimes faster on FPV.
+"""
+
+from common import FPV_BUDGET, save
+from repro.evalx.runner import solve_po
+from repro.evalx.scatter import pair_point, summarize_scatter
+from repro.evalx.report import render_scatter
+from repro.generators.fpv import FpvParams, generate_fpv
+
+
+def test_fig4_fpv_scatter(benchmark, fpv_results):
+    phi = generate_fpv(FpvParams(seed=3))
+    benchmark.pedantic(lambda: solve_po(phi, budget=FPV_BUDGET), rounds=1, iterations=1)
+
+    points = [pair_point(r.instance, r.to_run("eu_au"), r.po_run) for r in fpv_results]
+    save(
+        "fig4_fpv_scatter.txt",
+        render_scatter(points, title="Figure 4: QUBE(TO) (y) vs QUBE(PO) (x), FPV"),
+    )
+
+    # Shape: near-parity with the odds on PO's side in aggregate (the paper
+    # notes TO is "sometimes faster" on FPV; at our scales the margin is
+    # small, see EXPERIMENTS.md).
+    to_total = sum(p.to_cost for p in points)
+    po_total = sum(p.po_cost for p in points)
+    assert po_total <= to_total * 1.1, (po_total, to_total)

@@ -1,0 +1,29 @@
+"""Figure 5: QUBE(TO) vs QUBE(PO) scatter on the DIA suite.
+
+Paper shape: QUBE(PO) substantially and consistently faster; QUBE(TO) never
+ahead by more than noise.
+"""
+
+from common import DIA_BUDGET, save
+from repro.evalx.runner import solve_po
+from repro.evalx.scatter import pair_point, summarize_scatter
+from repro.evalx.report import render_scatter
+from repro.smv.diameter import diameter_qbf
+from repro.smv.models import SemaphoreModel
+
+
+def test_fig5_dia_scatter(benchmark, dia_results):
+    phi = diameter_qbf(SemaphoreModel(3), 2, "tree")
+    benchmark.pedantic(lambda: solve_po(phi, budget=DIA_BUDGET), rounds=1, iterations=1)
+
+    points = [pair_point(r.instance, r.to_run("eu_au"), r.po_run) for r in dia_results]
+    save(
+        "fig5_dia_scatter.txt",
+        render_scatter(points, title="Figure 5: QUBE(TO) (y) vs QUBE(PO) (x), DIA"),
+    )
+
+    stats = summarize_scatter(points)
+    to_total = sum(p.to_cost for p in points)
+    po_total = sum(p.po_cost for p in points)
+    assert po_total <= to_total * 1.1, (po_total, to_total)
+    assert stats["po_timeouts"] <= stats["to_timeouts"]

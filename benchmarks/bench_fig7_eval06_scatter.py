@@ -1,0 +1,34 @@
+"""Figure 7: scatter on the scope-minimized probabilistic/fixed instances.
+
+Paper shape: few points (the structure filter drops most instances); the
+results favour QUBE(PO) in most cases.
+"""
+
+from common import EVAL06_BUDGET, save
+from repro.evalx.runner import solve_po
+from repro.evalx.scatter import pair_point, summarize_scatter
+from repro.evalx.report import render_scatter
+from repro.evalx.suites import eval06_instances
+from repro.prenexing.miniscoping import miniscope
+
+
+def test_fig7_eval06_scatter(benchmark, eval06_results):
+    _, phi = eval06_instances("prob", count=1)[0]
+    tree = miniscope(phi)
+    benchmark.pedantic(lambda: solve_po(tree, budget=EVAL06_BUDGET), rounds=1, iterations=1)
+
+    points = []
+    for kind in ("prob", "fixed"):
+        for r in eval06_results[kind]:
+            points.append(pair_point(r.instance, r.to_run("eu_au"), r.po_run))
+    save(
+        "fig7_eval06_scatter.txt",
+        render_scatter(
+            points,
+            title="Figure 7: QUBE(TO) (y) vs QUBE(PO) (x), PROB+FIXED after miniscoping",
+        ),
+    )
+
+    to_total = sum(p.to_cost for p in points)
+    po_total = sum(p.po_cost for p in points)
+    assert po_total <= to_total * 1.1, (po_total, to_total)

@@ -1,0 +1,37 @@
+"""Table I, row 6: QUBE(TO) vs QUBE(PO) on the DIA (diameter) suite.
+
+Paper shape: QUBE(TO) is never faster by more than the margin on the
+aggregate; QUBE(PO) is at least an order of magnitude faster on a sizable
+fraction of instances.
+"""
+
+from common import DIA_BUDGET, save
+from repro.evalx.runner import solve_po
+from repro.evalx.table1 import build_row, render_table
+from repro.smv.diameter import diameter_qbf
+from repro.smv.models import CounterModel
+
+TIE_MARGIN = 50
+
+
+def test_table1_dia(benchmark, dia_results):
+    tree = diameter_qbf(CounterModel(3), 4, "tree")
+    flat = diameter_qbf(CounterModel(3), 4, "prenex")
+
+    def representative_pair():
+        po = solve_po(tree, budget=DIA_BUDGET)
+        to = solve_po(flat, budget=DIA_BUDGET)
+        return to, po
+
+    benchmark.pedantic(representative_pair, rounds=1, iterations=1)
+
+    pairs = [(r.to_run("eu_au"), r.po_run) for r in dia_results]
+    row = build_row("DIA", "eq16", pairs, tie_margin=TIE_MARGIN)
+    save("table1_row6_dia.txt", render_table([row]))
+
+    # Shape: PO ahead (or at par) in aggregate, with no PO-only timeouts
+    # beyond TO's.
+    to_total = sum(r.to_run("eu_au").cost for r in dia_results)
+    po_total = sum(r.po_run.cost for r in dia_results)
+    assert po_total <= to_total * 1.1, (po_total, to_total)
+    assert row.po_timeout_only <= row.to_timeout_only, row

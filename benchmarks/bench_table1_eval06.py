@@ -1,0 +1,49 @@
+"""Table I, rows 7-8: the QBFEVAL'06-style probabilistic and fixed classes.
+
+Paper shape: most instances are filtered out (scope minimization finds no
+tangible structure); among the survivors QUBE(PO) is ahead in most cases.
+"""
+
+from common import EVAL06_BUDGET, save
+from repro.evalx.runner import solve_po, solve_to
+from repro.evalx.suites import eval06_instances
+from repro.evalx.table1 import build_row, render_table
+from repro.prenexing.miniscoping import miniscope
+
+TIE_MARGIN = 50
+
+
+def test_table1_eval06(benchmark, eval06_results):
+    label, phi = eval06_instances("fixed", count=1)[0]
+    tree = miniscope(phi)
+
+    def representative_pair():
+        to = solve_to(phi, strategy="eu_au", budget=EVAL06_BUDGET)
+        po = solve_po(tree, budget=EVAL06_BUDGET)
+        return to, po
+
+    benchmark.pedantic(representative_pair, rounds=1, iterations=1)
+
+    rows = []
+    for kind in ("prob", "fixed"):
+        pairs = [(r.to_run("eu_au"), r.po_run) for r in eval06_results[kind]]
+        rows.append(build_row(kind.upper(), "eu_au", pairs, tie_margin=TIE_MARGIN))
+    filtered_note = (
+        "filter (footnote 9, PO/TO > 20%%): prob kept %d dropped %d; "
+        "fixed kept %d dropped %d"
+        % (
+            len(eval06_results["prob"]),
+            eval06_results["prob_filtered"],
+            len(eval06_results["fixed"]),
+            eval06_results["fixed_filtered"],
+        )
+    )
+    save("table1_rows7-8_eval06.txt", render_table(rows) + "\n" + filtered_note)
+
+    # Shape: PO at par or ahead in aggregate on both survivor pools.
+    for kind in ("prob", "fixed"):
+        to_total = sum(r.to_run("eu_au").cost for r in eval06_results[kind])
+        po_total = sum(r.po_run.cost for r in eval06_results[kind])
+        assert po_total <= to_total * 1.1, (kind, po_total, to_total)
+    # Some instances must have been dropped by the structure filter.
+    assert eval06_results["prob_filtered"] > 0

@@ -1,0 +1,34 @@
+"""Table I, row 5: QUBE(TO) vs QUBE(PO) on the FPV suite (∃↑∀↑).
+
+Paper shape: the odds are on QUBE(PO)'s side, but less impressively than
+on NCF — QUBE(TO) wins some instances because the two engines branch on
+different literals.
+"""
+
+from common import FPV_BUDGET, save
+from repro.evalx.runner import solve_po, solve_to
+from repro.evalx.table1 import build_row, render_table
+from repro.generators.fpv import FpvParams, generate_fpv
+
+TIE_MARGIN = 50
+
+
+def test_table1_fpv(benchmark, fpv_results):
+    phi = generate_fpv(FpvParams(seed=1))
+
+    def representative_pair():
+        to = solve_to(phi, strategy="eu_au", budget=FPV_BUDGET)
+        po = solve_po(phi, budget=FPV_BUDGET)
+        return to, po
+
+    benchmark.pedantic(representative_pair, rounds=1, iterations=1)
+
+    pairs = [(r.to_run("eu_au"), r.po_run) for r in fpv_results]
+    row = build_row("FPV", "eu_au", pairs, tie_margin=TIE_MARGIN)
+    save("table1_row5_fpv.txt", render_table([row]))
+
+    # Shape: PO ahead (or at par) in aggregate; TO wins some instances.
+    to_total = sum(r.to_run("eu_au").cost for r in fpv_results)
+    po_total = sum(r.po_run.cost for r in fpv_results)
+    assert po_total <= to_total * 1.1, (po_total, to_total)
+    assert row.po_timeout_only <= row.to_timeout_only, row

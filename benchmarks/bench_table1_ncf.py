@@ -1,0 +1,40 @@
+"""Table I, rows 1-4: QUBE(TO) vs QUBE(PO) on NCF, one row per strategy.
+
+Paper shape to reproduce: QUBE(PO) outperforms QUBE(TO) under *every*
+prenexing strategy, and ∃↑∀↑ is the strategy that hurts QUBE(TO) least.
+"""
+
+from common import NCF_BUDGET, save
+from repro.evalx.table1 import build_row, render_table
+from repro.evalx.runner import solve_po, solve_to
+from repro.generators.ncf import NcfParams, generate_ncf
+from repro.prenexing.strategies import STRATEGIES
+
+#: tie margin in decisions, the stand-in for the paper's "within 1 s".
+TIE_MARGIN = 50
+
+
+def test_table1_ncf(benchmark, ncf_results):
+    phi = generate_ncf(NcfParams(dep=6, var=4, cls=12, lpc=5, seed=0))
+
+    def representative_pair():
+        to = solve_to(phi, strategy="eu_au", budget=NCF_BUDGET)
+        po = solve_po(phi, budget=NCF_BUDGET)
+        return to, po
+
+    benchmark.pedantic(representative_pair, rounds=1, iterations=1)
+
+    rows = []
+    for strategy in STRATEGIES:
+        pairs = [(r.to_run(strategy), r.po_run) for r in ncf_results]
+        rows.append(build_row("NCF", strategy, pairs, tie_margin=TIE_MARGIN))
+    save("table1_rows1-4_ncf.txt", render_table(rows))
+
+    # Shape: PO ahead (or at par) in aggregate decisions under every
+    # strategy, and never with more one-sided timeouts than TO.
+    for strategy in STRATEGIES:
+        to_total = sum(r.to_run(strategy).cost for r in ncf_results)
+        po_total = sum(r.po_run.cost for r in ncf_results)
+        assert po_total <= to_total * 1.1, (strategy, po_total, to_total)
+    for row in rows:
+        assert row.po_timeout_only <= row.to_timeout_only, row

@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark writes its rendered table/figure to ``benchmarks/results/``
+and prints it, so a ``pytest benchmarks/ --benchmark-only`` run leaves the
+full reproduction record on disk. Budgets here are the reproduction's
+"timeouts" (see repro.evalx.runner).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.evalx.runner import Budget
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: suite budgets (decisions stand in for the paper's 600 s / 3600 s caps).
+NCF_BUDGET = Budget(decisions=5000, seconds=12.0)
+FPV_BUDGET = Budget(decisions=5000, seconds=12.0)
+DIA_BUDGET = Budget(decisions=6000, seconds=20.0)
+EVAL06_BUDGET = Budget(decisions=4000, seconds=10.0)
+
+NCF_INSTANCES_PER_SETTING = 3
+FPV_COUNT = 20
+EVAL06_COUNT = 24
+DIA_MAX_N = 6
+
+
+def save(name: str, text: str) -> None:
+    """Write a rendered artefact and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + "=" * 72)
+    print(text)
+    print("(saved to %s)" % path)
+
+
+def po_vs_to_counts(results) -> dict:
+    """Quick aggregate used by shape assertions."""
+    po_wins = sum(1 for r in results if r.to_best.cost > r.po_run.cost)
+    to_wins = sum(1 for r in results if r.po_run.cost > r.to_best.cost)
+    to_timeouts = sum(1 for r in results if r.to_best.timed_out)
+    po_timeouts = sum(1 for r in results if r.po_run.timed_out)
+    return {
+        "po_wins": po_wins,
+        "to_wins": to_wins,
+        "to_timeouts": to_timeouts,
+        "po_timeouts": po_timeouts,
+        "total": len(results),
+    }

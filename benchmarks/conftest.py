@@ -1,0 +1,53 @@
+"""Session-scoped suite runs shared by the table and figure benchmarks.
+
+The heavy solving happens once per pytest session; individual benchmarks
+time representative solver calls and aggregate/render from these fixtures.
+"""
+
+from __future__ import annotations
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+from common import (
+    DIA_BUDGET,
+    DIA_MAX_N,
+    EVAL06_BUDGET,
+    EVAL06_COUNT,
+    FPV_BUDGET,
+    FPV_COUNT,
+    NCF_BUDGET,
+    NCF_INSTANCES_PER_SETTING,
+)
+from repro.evalx.suites import run_dia, run_eval06, run_fpv, run_ncf
+
+
+@pytest.fixture(scope="session")
+def ncf_results():
+    return run_ncf(budget=NCF_BUDGET, instances=NCF_INSTANCES_PER_SETTING)
+
+
+@pytest.fixture(scope="session")
+def fpv_results():
+    return run_fpv(budget=FPV_BUDGET, count=FPV_COUNT)
+
+
+@pytest.fixture(scope="session")
+def dia_results():
+    return run_dia(budget=DIA_BUDGET, max_n_cap=DIA_MAX_N)
+
+
+@pytest.fixture(scope="session")
+def eval06_results():
+    prob, prob_filtered = run_eval06("prob", budget=EVAL06_BUDGET, count=EVAL06_COUNT)
+    fixed, fixed_filtered = run_eval06("fixed", budget=EVAL06_BUDGET, count=EVAL06_COUNT)
+    return {
+        "prob": prob,
+        "prob_filtered": prob_filtered,
+        "fixed": fixed,
+        "fixed_filtered": fixed_filtered,
+    }

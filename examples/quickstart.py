@@ -1,0 +1,92 @@
+"""Quickstart: build, solve and inspect QBFs with the repro library.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EXISTS, FORALL, Outcome, Prefix, QBF, SolverConfig, solve
+from repro.io import qtree
+
+
+def prenex_basics() -> None:
+    """Classical prenex QBFs: the prefix is a total order."""
+    # ∀y ∃x . (x ∨ ¬y) ∧ (¬x ∨ y)   — "x must copy y": true.
+    copy_game = QBF.prenex(
+        [(FORALL, [1]), (EXISTS, [2])],
+        [(2, -1), (-2, 1)],
+    )
+    result = solve(copy_game)
+    print("∀y ∃x (x ≡ y)      ->", result.outcome)
+
+    # Swap the quantifiers and the game becomes unwinnable.
+    fixed_first = QBF.prenex(
+        [(EXISTS, [2]), (FORALL, [1])],
+        [(2, -1), (-2, 1)],
+    )
+    print("∃x ∀y (x ≡ y)      ->", solve(fixed_first).outcome)
+
+
+def non_prenex_basics() -> None:
+    """Quantifier trees: independently quantified conjuncts stay independent."""
+    # ∃x ( ∀y1 ∃z1 (y1 ≡ z1) ∧ ∀y2 ∃z2 (y2 ≢ z2) ∧ x )
+    phi = QBF.tree(
+        [
+            (
+                EXISTS,
+                (1,),
+                (
+                    (FORALL, (2,), ((EXISTS, (3,), ()),)),
+                    (FORALL, (4,), ((EXISTS, (5,), ()),)),
+                ),
+            )
+        ],
+        [(1,), (2, -3), (-2, 3), (4, 5), (-4, -5)],
+    )
+    print("\nNon-prenex formula:")
+    print(phi.pretty())
+    print("value              ->", solve(phi).outcome)
+
+    # The partial order: y1 (2) precedes z1 (3) but not z2 (5).
+    print("y1 ≺ z1            ->", phi.prefix.prec(2, 3))
+    print("y1 ≺ z2            ->", phi.prefix.prec(2, 5))
+    print("prefix level       ->", phi.prefix.prefix_level)
+
+
+def solver_features() -> None:
+    """Feature switches and statistics."""
+    phi = QBF.prenex(
+        [(EXISTS, [1, 2]), (FORALL, [3, 4]), (EXISTS, [5, 6])],
+        [
+            (1, 3, 5), (-1, 3, -5), (2, 4, 6), (-2, -4, 6),
+            (1, -3, 6), (2, -4, -5), (-1, -2, 5), (5, 6),
+        ],
+    )
+    full = solve(phi)
+    plain = solve(phi, SolverConfig(learn_clauses=False, learn_cubes=False,
+                                    pure_literals=False))
+    print("\nWith learning     ->", full.outcome, "decisions:", full.stats.decisions)
+    print("Plain Q-DLL       ->", plain.outcome, "decisions:", plain.stats.decisions)
+    print("learned nogoods   ->", full.stats.learned_clauses)
+    print("learned goods     ->", full.stats.learned_cubes)
+
+
+def serialization() -> None:
+    """QTREE keeps the quantifier tree; QDIMACS needs prenex form."""
+    phi = QBF.tree(
+        [(EXISTS, (1,), ((FORALL, (2,), ((EXISTS, (3,), ()),)),))],
+        [(1, 2, 3), (-1, -2, -3)],
+    )
+    text = qtree.dumps(phi, comments=["quickstart example"])
+    print("\nQTREE serialization:")
+    print(text)
+    assert qtree.loads(text) == phi
+
+
+def main() -> None:
+    prenex_basics()
+    non_prenex_basics()
+    solver_features()
+    serialization()
+
+
+if __name__ == "__main__":
+    main()

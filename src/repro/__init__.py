@@ -1,0 +1,73 @@
+"""repro — search-based QBF solving with quantifier trees.
+
+A production-quality reproduction of E. Giunchiglia, M. Narizzano and
+A. Tacchella, *Quantifier structure in search based procedures for QBFs*
+(DATE 2006, extended IEEE version): a QDPLL solver that handles non-prenex
+QBFs natively (the paper's QUBE(PO)), the classical prenex solver it is
+compared against (QUBE(TO)), the four prenexing strategies of Egly et al.,
+scope minimization for prenex inputs, the benchmark generators of the
+paper's evaluation (NCF, FPV, DIA via a NuSMV-like model-checking substrate,
+and QBFEVAL'06-style probabilistic/fixed suites) and the experiment harness
+that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import QBF, Prefix, EXISTS, FORALL, solve
+
+    # ∃x1 ∀y2 ∃x3 . (x1 ∨ y2 ∨ x3) ∧ (¬x1 ∨ ¬y2 ∨ ¬x3)
+    phi = QBF.prenex(
+        [(EXISTS, [1]), (FORALL, [2]), (EXISTS, [3])],
+        [(1, 2, 3), (-1, -2, -3)],
+    )
+    print(solve(phi).outcome)        # Outcome.TRUE
+
+See ``examples/`` for non-prenex inputs, prenexing studies and the diameter
+computation pipeline.
+"""
+
+from repro.core import (
+    EXISTS,
+    FORALL,
+    Block,
+    BudgetExceeded,
+    Clause,
+    Constraint,
+    Cube,
+    Outcome,
+    Prefix,
+    QBF,
+    QdpllSolver,
+    Quant,
+    SolveResult,
+    SolverConfig,
+    SolverStats,
+    evaluate,
+    paper_example,
+    q_dll,
+    solve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "BudgetExceeded",
+    "Clause",
+    "Constraint",
+    "Cube",
+    "EXISTS",
+    "FORALL",
+    "Outcome",
+    "Prefix",
+    "QBF",
+    "QdpllSolver",
+    "Quant",
+    "SolveResult",
+    "SolverConfig",
+    "SolverStats",
+    "__version__",
+    "evaluate",
+    "paper_example",
+    "q_dll",
+    "solve",
+]

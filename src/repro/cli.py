@@ -1,0 +1,168 @@
+"""Command-line interface: solve, convert, prenex, miniscope, generate.
+
+Usage examples::
+
+    python -m repro.cli solve instance.qdimacs
+    python -m repro.cli solve instance.qtree --po --max-decisions 10000
+    python -m repro.cli prenex instance.qtree --strategy eu_au -o flat.qdimacs
+    python -m repro.cli miniscope flat.qdimacs -o tree.qtree
+    python -m repro.cli generate ncf --dep 6 --var 4 --cls 12 --lpc 5 -o x.qtree
+    python -m repro.cli stats instance.qtree
+
+Formats are picked by extension: ``.qdimacs``/``.cnf`` (prenex) or
+``.qtree`` (tree prefixes). ``-`` reads from stdin in QTREE format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.formula import QBF
+from repro.core.result import Outcome
+from repro.core.solver import SolverConfig, solve
+from repro.generators.fpv import FpvParams, generate_fpv
+from repro.generators.ncf import NcfParams, generate_ncf
+from repro.io import qdimacs, qtree
+from repro.prenexing.miniscoping import miniscope, structure_ratio
+from repro.prenexing.strategies import STRATEGIES, prenex
+
+
+def _read(path: str) -> QBF:
+    if path == "-":
+        return qtree.loads(sys.stdin.read())
+    if path.endswith((".qdimacs", ".cnf", ".dimacs")):
+        return qdimacs.load(path)
+    return qtree.load(path)
+
+
+def _write(formula: QBF, path: Optional[str]) -> None:
+    if path is None or path == "-":
+        sys.stdout.write(qtree.dumps(formula))
+        return
+    if path.endswith((".qdimacs", ".cnf", ".dimacs")):
+        qdimacs.dump(formula, path)
+    else:
+        qtree.dump(formula, path)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    phi = _read(args.input)
+    if args.to:
+        phi = prenex(phi, args.strategy)
+    config = SolverConfig(
+        policy=args.policy,
+        learn_clauses=not args.no_learning,
+        learn_cubes=not args.no_learning,
+        pure_literals=not args.no_pure,
+        max_decisions=args.max_decisions,
+        max_seconds=args.max_seconds,
+    )
+    result = solve(phi, config)
+    stats = result.stats
+    print("result      %s" % result.outcome.value.upper())
+    print("decisions   %d" % stats.decisions)
+    print("conflicts   %d" % stats.conflicts)
+    print("solutions   %d" % stats.solutions)
+    print("learned     %d nogoods, %d goods" % (stats.learned_clauses, stats.learned_cubes))
+    print("time        %.3fs" % result.seconds)
+    if result.outcome is Outcome.UNKNOWN:
+        return 2
+    return 10 if result.value else 20  # SAT-solver-style exit codes
+
+
+def cmd_prenex(args: argparse.Namespace) -> int:
+    phi = _read(args.input)
+    _write(prenex(phi, args.strategy), args.output)
+    return 0
+
+
+def cmd_miniscope(args: argparse.Namespace) -> int:
+    phi = _read(args.input)
+    tree = miniscope(phi)
+    print(
+        "structure ratio: %.0f%% of (existential, universal) pairs freed"
+        % (100 * structure_ratio(phi, tree)),
+        file=sys.stderr,
+    )
+    _write(tree, args.output)
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "ncf":
+        phi = generate_ncf(
+            NcfParams(dep=args.dep, var=args.var, cls=args.cls, lpc=args.lpc, seed=args.seed)
+        )
+    elif args.family == "fpv":
+        phi = generate_fpv(FpvParams(seed=args.seed))
+    else:
+        raise AssertionError(args.family)
+    _write(phi, args.output)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    phi = _read(args.input)
+    prefix = phi.prefix
+    print("variables     %d" % phi.num_vars)
+    print("clauses       %d" % phi.num_clauses)
+    print("prenex        %s" % ("yes" if phi.is_prenex else "no"))
+    print("prefix level  %d" % prefix.prefix_level)
+    print("blocks        %d" % len(prefix.blocks))
+    print("top variables %d" % len(prefix.top_variables()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a QBF (exit 10=true, 20=false, 2=unknown)")
+    p_solve.add_argument("input")
+    p_solve.add_argument("--to", action="store_true", help="prenex first (QUBE(TO) pipeline)")
+    p_solve.add_argument("--po", action="store_true", help="solve the tree directly (default)")
+    p_solve.add_argument("--strategy", default="eu_au", choices=STRATEGIES)
+    p_solve.add_argument("--policy", default="levelsub")
+    p_solve.add_argument("--no-learning", action="store_true")
+    p_solve.add_argument("--no-pure", action="store_true")
+    p_solve.add_argument("--max-decisions", type=int, default=None)
+    p_solve.add_argument("--max-seconds", type=float, default=None)
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_prenex = sub.add_parser("prenex", help="convert to prenex form")
+    p_prenex.add_argument("input")
+    p_prenex.add_argument("-o", "--output", default=None)
+    p_prenex.add_argument("--strategy", default="eu_au", choices=STRATEGIES)
+    p_prenex.set_defaults(func=cmd_prenex)
+
+    p_mini = sub.add_parser("miniscope", help="minimize quantifier scopes")
+    p_mini.add_argument("input")
+    p_mini.add_argument("-o", "--output", default=None)
+    p_mini.set_defaults(func=cmd_miniscope)
+
+    p_gen = sub.add_parser("generate", help="generate a benchmark instance")
+    p_gen.add_argument("family", choices=("ncf", "fpv"))
+    p_gen.add_argument("--dep", type=int, default=5)
+    p_gen.add_argument("--var", type=int, default=4)
+    p_gen.add_argument("--cls", type=int, default=12)
+    p_gen.add_argument("--lpc", type=int, default=4)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", default=None)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_stats = sub.add_parser("stats", help="describe an instance")
+    p_stats.add_argument("input")
+    p_stats.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Semantic QBF evaluation by quantifier expansion — the test oracle.
+
+This evaluator implements the Section II semantics *literally*: pick any top
+variable ``z`` of the current QBF and recurse on the cofactors ``ϕ_z`` and
+``ϕ_z̄``, combining with "or" for existentials and "and" for universals. The
+only shortcuts are the two base cases of the semantics (empty matrix / empty
+clause) plus memoization on the syntactic representation.
+
+It is exponential and meant exclusively as an oracle for testing the search
+engines; it shares *no* code with them beyond the formula representation, so
+agreement between the two is meaningful evidence of correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS
+
+
+def evaluate(formula: QBF, max_vars: Optional[int] = 40) -> bool:
+    """Return the truth value of ``formula`` by full expansion.
+
+    Args:
+        formula: the QBF to evaluate.
+        max_vars: guard against accidental use on large inputs; pass None to
+            disable.
+
+    Raises:
+        ValueError: if the formula has more than ``max_vars`` variables.
+    """
+    if max_vars is not None and formula.num_vars > max_vars:
+        raise ValueError(
+            "expansion oracle limited to %d variables (got %d)"
+            % (max_vars, formula.num_vars)
+        )
+    cache: Dict[Tuple[object, FrozenSet[Tuple[int, ...]]], bool] = {}
+    return _eval(formula, cache)
+
+
+def _eval(formula: QBF, cache: dict) -> bool:
+    matrix = frozenset(c.lits for c in formula.clauses)
+    if not matrix:
+        return True
+    if () in matrix:
+        return False
+    key = (formula.prefix, matrix)
+    if key in cache:
+        return cache[key]
+    tops = formula.prefix.top_variables()
+    if not tops:
+        # Matrix clauses only mention prefix variables, so "no top variable"
+        # implies an empty prefix and hence an empty or trivially false
+        # matrix — both handled above.
+        raise AssertionError("non-trivial matrix with an empty prefix")
+    var = tops[0]
+    pos = _eval(formula.assign(var), cache)
+    if formula.prefix.quant(var) is EXISTS:
+        result = pos or _eval(formula.assign(-var), cache)
+    else:
+        result = pos and _eval(formula.assign(-var), cache)
+    cache[key] = result
+    return result
+
+
+def count_models_of_tops(formula: QBF) -> int:
+    """Count assignments to *top existential* variables keeping ϕ true.
+
+    Convenience used by tests that need a finer-grained signal than a single
+    boolean (e.g. to compare encodings of the same model-checking problem).
+    Universally quantified tops make the count 0/1 semantics-style: the
+    function counts over top existential variables only, evaluating the rest
+    of the formula with the oracle.
+    """
+    tops = [v for v in formula.prefix.top_variables() if formula.prefix.quant(v) is EXISTS]
+    if not tops:
+        return 1 if evaluate(formula, max_vars=None) else 0
+    total = 0
+    var = tops[0]
+    for lit in (var, -var):
+        total += count_models_of_tops(formula.assign(lit))
+    return total

@@ -1,0 +1,165 @@
+"""Branching heuristics (Section VI of the paper).
+
+Both QUBE variants keep a per-literal *counter* of the number of constraints
+(matrix clauses plus learned nogoods/goods) the literal occurs in, bumped on
+learning and periodically decayed — the VSIDS-flavoured scheme the paper
+attributes to ZCHAFF.
+
+* ``QUBE(TO)`` sorts literals by (prefix level, counter, id). In a prenex
+  formula only the outermost unfinished block is branchable, so the level
+  key simply restricts the choice to that block.
+* ``QUBE(PO)`` cannot sort by level (the prefix is a partial order). The
+  paper's solution: the *score* of a literal is its counter plus the maximum
+  score of the literals one alternation deeper in its scope. This guarantees
+  that ``|l| ≺ |l'|`` implies ``score(l) > score(l')`` (so outer variables
+  are branched first) while reducing to plain VSIDS on SAT instances.
+
+Both are implemented by :class:`ScoreKeeper` + a pick policy; the engine asks
+for the best literal among *available* variables (those whose ``≺``
+predecessors are all assigned), so every policy is sound for every prefix —
+the policies differ only in ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.prefix import Block, Prefix
+
+#: pick policy names accepted by the solver configuration.
+POLICIES = ("levelsub", "subtree", "counter", "naive")
+
+
+class ScoreKeeper:
+    """Literal activity counters with periodic decay and subtree maxima."""
+
+    #: decay factor applied every :attr:`decay_interval` learned constraints
+    #: ("halving the old score", Section VI).
+    DECAY = 0.5
+
+    def __init__(self, prefix: Prefix, decay_interval: int = 64):
+        self.prefix = prefix
+        self.score: Dict[int, float] = {}
+        for v in prefix.variables:
+            self.score[v] = 0.0
+            self.score[-v] = 0.0
+        self.decay_interval = decay_interval
+        self._since_decay = 0
+        self._subtree_max: Dict[int, float] = {}
+        self._child_max: Dict[int, float] = {}
+        self._dirty = True
+
+    def _bump(self, lit: int) -> None:
+        # Section VI: an existential literal counts the constraints it
+        # occurs in; a universal literal counts the constraints its
+        # *complement* occurs in (the universal player branches to falsify).
+        if self.prefix.is_existential(lit):
+            self.score[lit] += 1.0
+        else:
+            self.score[-lit] += 1.0
+
+    def bump_initial(self, clauses: Iterable[Sequence[int]]) -> None:
+        """Initialize counters from matrix occurrences."""
+        for clause in clauses:
+            for lit in clause:
+                self._bump(lit)
+        self._dirty = True
+
+    def on_learned(self, lits: Sequence[int]) -> None:
+        """Bump the literals of a freshly learned constraint and maybe decay."""
+        for lit in lits:
+            self._bump(lit)
+        self._since_decay += 1
+        if self._since_decay >= self.decay_interval:
+            self._since_decay = 0
+            for lit in self.score:
+                self.score[lit] *= self.DECAY
+        self._dirty = True
+
+    # -- PO subtree scores ---------------------------------------------------
+
+    def _recompute(self) -> None:
+        """Bottom-up pass computing, per block, the max augmented score.
+
+        ``subtree_max(b)`` is the maximum over literals ``l`` of block ``b``
+        of ``score(l) + child_max(b)``, where ``child_max(b)`` is the largest
+        ``subtree_max`` among the children of ``b`` (0 for leaves). This is
+        precisely the Section VI definition, evaluated per block since all
+        variables of a block share the same children.
+        """
+        order: List[Block] = list(self.prefix.blocks)
+        for block in reversed(order):
+            kid = 0.0
+            for child in block.children:
+                if child.level > block.level:
+                    # One alternation deeper: the child's own literals are
+                    # the "prefix level k+1" literals of the definition.
+                    kid = max(kid, self._subtree_max[child.index])
+                else:
+                    # Same-level child (branch point without alternation):
+                    # only its strictly deeper descendants count.
+                    kid = max(kid, self._child_max[child.index])
+            self._child_max[block.index] = kid
+            best = 0.0
+            for v in block.variables:
+                best = max(best, self.score[v] + kid, self.score[-v] + kid)
+            self._subtree_max[block.index] = best
+        self._dirty = False
+
+    def effective(self, lit: int) -> float:
+        """The PO score of ``lit``: counter plus deeper-subtree maximum."""
+        if self._dirty:
+            self._recompute()
+        block = self.prefix.block_of(abs(lit))
+        return self.score[lit] + self._child_max[block.index]
+
+
+def pick_literal(
+    policy: str,
+    keeper: ScoreKeeper,
+    available: Sequence[int],
+) -> Optional[int]:
+    """Choose a branching literal among available (top) variables.
+
+    Args:
+        policy: one of :data:`POLICIES`.
+            ``levelsub`` — rank by (prefix level, subtree score): Section
+            VI's requirement that the queue account for "both their position
+            in the prefix and their score", taking the position key
+            literally. The reproduction's default: it keeps branching
+            freedom across incomparable same-level blocks while never diving
+            below an unfinished shallower block, which our backjumping
+            engine rewards (see the heuristic ablation bench);
+            ``subtree`` — the pure Section VI score formula (counter plus
+            deeper-subtree maximum), whose ≺-monotonicity is the only
+            ordering constraint;
+            ``counter`` — raw counters, ignoring the tree (ablation);
+            ``naive`` — smallest variable id, positive phase (ablation).
+        keeper: the activity store.
+        available: unassigned variables whose predecessors are assigned.
+
+    Returns:
+        a literal, or None when ``available`` is empty.
+    """
+    if not available:
+        return None
+    if policy == "naive":
+        return min(available)
+    if policy == "counter":
+        key: Callable[[int], Tuple] = lambda v: (
+            max(keeper.score[v], keeper.score[-v]),
+            -v,
+        )
+    elif policy == "subtree":
+        key = lambda v: (max(keeper.effective(v), keeper.effective(-v)), -v)
+    elif policy == "levelsub":
+        prefix = keeper.prefix
+        key = lambda v: (
+            -prefix.level(v),
+            max(keeper.effective(v), keeper.effective(-v)),
+            -v,
+        )
+    else:
+        raise ValueError("unknown branching policy %r" % policy)
+    var = max(available, key=key)
+    return var if keeper.score[var] >= keeper.score[-var] else -var

@@ -1,0 +1,258 @@
+"""Nogood and good learning (Sections III, V and [23]).
+
+Conflict analysis derives a new clause (*nogood*) by Q-resolution: starting
+from the falsified clause, the most recently propagated existential literal
+is resolved with its reason clause, applying universal reduction (Lemma 3)
+after every step, until the clause is *asserting* — unit, under the
+generalized Section IV unit rule, at some earlier decision level.
+
+Solution analysis is the exact dual: starting from a satisfied cube (either a
+learned good that became true, or a fresh *model cube* covering every matrix
+clause), cube-propagated universal literals are resolved with their reason
+cubes, applying existential reduction, until the cube is unit at an earlier
+level, which flips a universal decision.
+
+Two non-standard situations are handled conservatively:
+
+* a resolution step that would produce a tautological resolvent is skipped —
+  the offending literal is kept in the derived constraint as if it were a
+  decision (soundness is preserved because the working constraint is always
+  a genuine Q-resolvent of database constraints);
+* when no asserting constraint can be derived, analysis reports *fallback*
+  and the engine reverts to chronological backtracking for that conflict or
+  solution (plain Figure-1 Q-DLL behaviour).
+
+The asymmetry tested by the paper lives in the two ``reduce`` calls: with a
+tree prefix, fewer literal pairs satisfy ``|l| ≺ |l'|``, so reductions delete
+more literals and learned constraints are stronger (the Section VII-C worked
+example: good ``{y1_0}`` under the tree vs ``{x1_0, x2_0, x1_1, x2_1, y1_0}``
+under the total order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.constraints import (
+    Clause,
+    Constraint,
+    Cube,
+    existential_reduce,
+    resolve,
+    universal_reduce,
+)
+from repro.core.literals import var_of
+
+
+@dataclass
+class Terminal:
+    """The analysis proves the whole QBF: FALSE (clauses) or TRUE (cubes)."""
+
+
+@dataclass
+class Backjump:
+    """Learn ``lits`` and backtrack, making the constraint assert ``assert_lit``.
+
+    For a clause, ``assert_lit`` is the existential literal that becomes unit
+    (to be assigned true); for a cube, it is the universal literal whose
+    *negation* must be assigned. The constraint is unit at every level in
+    ``[level, shallow_level]``: ``level`` is the classical asserting level
+    (deepest jump), ``shallow_level`` the least destructive one; the engine
+    picks according to its configuration.
+    """
+
+    lits: Tuple[int, ...]
+    level: int
+    assert_lit: int
+    shallow_level: int = -1
+
+    def __post_init__(self) -> None:
+        if self.shallow_level < self.level:
+            self.shallow_level = self.level
+
+
+@dataclass
+class Fallback:
+    """No asserting constraint derivable; use chronological backtracking."""
+
+
+AnalysisOutcome = Union[Terminal, Backjump, Fallback]
+
+
+class TrailView:
+    """The slice of engine state the analyses need (duck-typed by the solver).
+
+    Attributes (all callables):
+        value: literal -> True/False/None under the current assignment.
+        level_of: variable -> decision level (meaningful only if assigned).
+        pos_of: variable -> trail position (meaningful only if assigned).
+        reason_of: variable -> Constraint | None ("None" covers decisions and
+            pure literals — anything that cannot be resolved away).
+    """
+
+    def __init__(self, value, level_of, pos_of, reason_of, prefix):
+        self.value = value
+        self.level_of = level_of
+        self.pos_of = pos_of
+        self.reason_of = reason_of
+        self.prefix = prefix
+
+
+def _clause_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisOutcome]:
+    """Asserting-level computation for a (reduced) working clause.
+
+    Returns Terminal when the clause proves FALSE outright, a Backjump when
+    some earlier level makes it unit, or None when further resolution is
+    needed.
+    """
+    prefix = view.prefix
+    existentials = [l for l in work if prefix.is_existential(l)]
+    universals = [l for l in work if prefix.is_universal(l)]
+    if not existentials:
+        return Terminal()
+    # All existential literals of a working clause are false on the trail.
+    estar = max(existentials, key=lambda l: (view.level_of(var_of(l)), view.pos_of(var_of(l))))
+    estar_level = view.level_of(var_of(estar))
+    if estar_level == 0:
+        blocked = any(
+            view.value(u) is True and view.level_of(var_of(u)) == 0 for u in universals
+        )
+        return None if blocked else Terminal()
+    b_lo = 0
+    b_hi = estar_level - 1
+    for e in existentials:
+        if e is not estar:
+            b_lo = max(b_lo, view.level_of(var_of(e)))
+    for u in universals:
+        val = view.value(u)
+        blocking = prefix.prec(u, estar)
+        if val is None:
+            if blocking:
+                return None
+        elif val is False:
+            if blocking:
+                b_lo = max(b_lo, view.level_of(var_of(u)))
+        else:  # val is True: must be unassigned at the target level
+            if blocking:
+                return None
+            b_hi = min(b_hi, view.level_of(var_of(u)) - 1)
+    if b_lo <= b_hi:
+        return Backjump(tuple(work), b_lo, estar, b_hi)
+    return None
+
+
+def _cube_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisOutcome]:
+    """Dual of :func:`_clause_backjump` for a (reduced) working cube."""
+    prefix = view.prefix
+    universals = [l for l in work if prefix.is_universal(l)]
+    existentials = [l for l in work if prefix.is_existential(l)]
+    if not universals:
+        return Terminal()
+    # All universal literals of a working cube are true on the trail.
+    ustar = max(universals, key=lambda l: (view.level_of(var_of(l)), view.pos_of(var_of(l))))
+    ustar_level = view.level_of(var_of(ustar))
+    if ustar_level == 0:
+        blocked = any(
+            view.value(e) is False and view.level_of(var_of(e)) == 0 for e in existentials
+        )
+        return None if blocked else Terminal()
+    b_lo = 0
+    b_hi = ustar_level - 1
+    for u in universals:
+        if u is not ustar:
+            b_lo = max(b_lo, view.level_of(var_of(u)))
+    for e in existentials:
+        val = view.value(e)
+        blocking = prefix.prec(e, ustar)
+        if val is None:
+            if blocking:
+                return None
+        elif val is True:
+            if blocking:
+                b_lo = max(b_lo, view.level_of(var_of(e)))
+        else:  # val is False: the cube would be dead unless e is unassigned
+            if blocking:
+                return None
+            b_hi = min(b_hi, view.level_of(var_of(e)) - 1)
+    if b_lo <= b_hi:
+        return Backjump(tuple(work), b_lo, ustar, b_hi)
+    return None
+
+
+def analyze_conflict(conflict: Sequence[int], view: TrailView) -> AnalysisOutcome:
+    """Derive a learned clause from a falsified clause (nogood learning)."""
+    work: Tuple[int, ...] = universal_reduce(tuple(conflict), view.prefix)
+    banned: Set[int] = set()
+    while True:
+        outcome = _clause_backjump(work, view)
+        if outcome is not None:
+            return outcome
+        candidates = [
+            l
+            for l in work
+            if view.prefix.is_existential(l)
+            and l not in banned
+            and view.value(l) is False
+            and isinstance(view.reason_of(var_of(l)), Clause)
+        ]
+        if not candidates:
+            return Fallback()
+        pivot = max(candidates, key=lambda l: view.pos_of(var_of(l)))
+        reason = view.reason_of(var_of(pivot))
+        resolvent = resolve(work, reason.lits, var_of(pivot))
+        if resolvent is None:
+            banned.add(pivot)
+            continue
+        work = universal_reduce(resolvent, view.prefix)
+
+
+def analyze_solution(model_cube: Sequence[int], view: TrailView) -> AnalysisOutcome:
+    """Derive a learned cube from a satisfied cube (good learning)."""
+    work: Tuple[int, ...] = existential_reduce(tuple(model_cube), view.prefix)
+    banned: Set[int] = set()
+    while True:
+        outcome = _cube_backjump(work, view)
+        if outcome is not None:
+            return outcome
+        candidates = [
+            l
+            for l in work
+            if view.prefix.is_universal(l)
+            and l not in banned
+            and view.value(l) is True
+            and isinstance(view.reason_of(var_of(l)), Cube)
+        ]
+        if not candidates:
+            return Fallback()
+        pivot = max(candidates, key=lambda l: view.pos_of(var_of(l)))
+        reason = view.reason_of(var_of(pivot))
+        resolvent = resolve(work, reason.lits, var_of(pivot))
+        if resolvent is None:
+            banned.add(pivot)
+            continue
+        work = existential_reduce(resolvent, view.prefix)
+
+
+def build_model_cube(
+    clauses: Sequence[Constraint],
+    view: TrailView,
+    trail: Sequence[int],
+) -> Tuple[int, ...]:
+    """Construct the initial good of Section III point 1.
+
+    Picks, for every matrix clause, one satisfying literal of the current
+    assignment (preferring literals already chosen, then the earliest
+    assigned), producing a set ``S`` with ``C ∩ S ≠ ∅`` for every clause
+    ``C``. The caller passes the result to :func:`analyze_solution`, which
+    existentially reduces it.
+    """
+    chosen: Set[int] = set()
+    for clause in clauses:
+        sats = [l for l in clause.lits if view.value(l) is True]
+        if not sats:
+            raise ValueError("matrix clause not satisfied: %r" % (clause,))
+        if any(l in chosen for l in sats):
+            continue
+        chosen.add(min(sats, key=lambda l: view.pos_of(var_of(l))))
+    return tuple(sorted(chosen, key=lambda l: (var_of(l), l)))

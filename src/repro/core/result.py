@@ -1,0 +1,82 @@
+"""Solver outcome and statistics containers shared by all engines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised internally when a solver exhausts its decision budget."""
+
+    def __init__(self, spent: int):
+        super().__init__("budget exceeded after %d decisions" % spent)
+        self.spent = spent
+
+
+class Outcome(enum.Enum):
+    """Verdict of a solver run."""
+
+    TRUE = "true"
+    FALSE = "false"
+    #: Budget (decision or wall-clock) exhausted — the paper's "timeout".
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        if self is Outcome.UNKNOWN:
+            raise ValueError("UNKNOWN outcome has no truth value")
+        return self is Outcome.TRUE
+
+
+@dataclass
+class SolverStats:
+    """Work counters of one :class:`~repro.core.solver.QdpllSolver` run.
+
+    ``decisions`` is the primary cost metric of the reproduction (the
+    platform-independent stand-in for the paper's CPU seconds); the rest
+    supports the ablations and the learning analyses.
+    """
+
+    decisions: int = 0
+    propagations: int = 0
+    pure_literals: int = 0
+    conflicts: int = 0
+    solutions: int = 0
+    learned_clauses: int = 0
+    learned_cubes: int = 0
+    learned_clause_lits: int = 0
+    learned_cube_lits: int = 0
+    backjumps: int = 0
+    chrono_backtracks: int = 0
+    max_trail: int = 0
+    restarts: int = 0
+
+    @property
+    def backtracks(self) -> int:
+        return self.conflicts + self.solutions
+
+
+@dataclass
+class SolveResult:
+    """Outcome + cost of a solver run."""
+
+    outcome: Outcome
+    stats: SolverStats = field(default_factory=SolverStats)
+    seconds: float = 0.0
+
+    @property
+    def timed_out(self) -> bool:
+        return self.outcome is Outcome.UNKNOWN
+
+    @property
+    def value(self) -> bool:
+        """Truth value; raises on UNKNOWN."""
+        return bool(self.outcome)
+
+    def __repr__(self) -> str:
+        return "SolveResult(%s, decisions=%d, %.3fs)" % (
+            self.outcome.value,
+            self.stats.decisions,
+            self.seconds,
+        )

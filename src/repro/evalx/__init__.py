@@ -1,0 +1,42 @@
+"""Experiment harness: budgeted runs, Table-I counters, figure series."""
+
+from repro.evalx.runner import (
+    Budget,
+    Measurement,
+    check_agreement,
+    solve_po,
+    solve_to,
+)
+from repro.evalx.scatter import (
+    ScalingSeries,
+    ScatterPoint,
+    median,
+    pair_point,
+    setting_medians,
+    summarize_scatter,
+    virtual_best,
+)
+from repro.evalx.table1 import Table1Row, build_row, classify_pair, render_table
+from repro.evalx.report import render_kv, render_scaling, render_scatter
+
+__all__ = [
+    "Budget",
+    "Measurement",
+    "ScalingSeries",
+    "ScatterPoint",
+    "Table1Row",
+    "build_row",
+    "check_agreement",
+    "classify_pair",
+    "median",
+    "pair_point",
+    "render_kv",
+    "render_scaling",
+    "render_scatter",
+    "render_table",
+    "setting_medians",
+    "solve_po",
+    "solve_to",
+    "summarize_scatter",
+    "virtual_best",
+]

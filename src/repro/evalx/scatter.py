@@ -1,0 +1,129 @@
+"""Scatter and scaling series for Figures 3-7.
+
+Figures 3, 4, 5 and 7 are log-log scatter plots of QUBE(TO) cost (y) vs
+QUBE(PO) cost (x), one bullet per instance (Figure 3: per parameter
+setting, using the *median* over instances and the virtual-best solver
+QUBE(TO)* over the four strategies). Figure 6 plots cost against the
+tested path length for the counter/semaphore scaling study.
+
+This module produces the numeric series; :mod:`repro.evalx.report` renders
+them as text (including a coarse ASCII scatter so the benchmark output is
+self-contained).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.evalx.runner import Measurement
+
+
+@dataclass
+class ScatterPoint:
+    """One bullet: PO cost on x, TO cost on y (censored at the budget)."""
+
+    label: str
+    po_cost: float
+    to_cost: float
+    po_timeout: bool = False
+    to_timeout: bool = False
+
+    @property
+    def winner(self) -> str:
+        if self.to_cost > self.po_cost:
+            return "PO"
+        if self.po_cost > self.to_cost:
+            return "TO"
+        return "tie"
+
+
+def pair_point(label: str, to_run: Measurement, po_run: Measurement) -> ScatterPoint:
+    return ScatterPoint(
+        label=label,
+        po_cost=max(po_run.cost, 1),
+        to_cost=max(to_run.cost, 1),
+        po_timeout=po_run.timed_out,
+        to_timeout=to_run.timed_out,
+    )
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence (paper: median solving time)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def virtual_best(per_strategy: Dict[str, Measurement]) -> Measurement:
+    """QUBE(TO)*: the best (lowest-cost, completion-preferring) TO run."""
+    completed = [m for m in per_strategy.values() if not m.timed_out]
+    pool = completed or list(per_strategy.values())
+    best = min(pool, key=lambda m: m.cost)
+    return best
+
+
+def setting_medians(
+    runs: Iterable[Tuple[str, Measurement, Measurement]],
+) -> List[ScatterPoint]:
+    """Figure-3 style points: group runs by setting label, take medians."""
+    grouped: Dict[str, List[Tuple[Measurement, Measurement]]] = {}
+    for label, to_run, po_run in runs:
+        grouped.setdefault(label, []).append((to_run, po_run))
+    points = []
+    for label, pairs in sorted(grouped.items()):
+        to_med = median([max(t.cost, 1) for t, _ in pairs])
+        po_med = median([max(p.cost, 1) for _, p in pairs])
+        points.append(
+            ScatterPoint(
+                label=label,
+                po_cost=po_med,
+                to_cost=to_med,
+                to_timeout=all(t.timed_out for t, _ in pairs),
+                po_timeout=all(p.timed_out for _, p in pairs),
+            )
+        )
+    return points
+
+
+@dataclass
+class ScalingSeries:
+    """One Figure-6 line: cost per tested length for a model size."""
+
+    model_name: str
+    #: (tested length n, cost, timed_out) triples in order.
+    points: List[Tuple[int, int, bool]] = field(default_factory=list)
+
+    def add(self, n: int, cost: int, timed_out: bool) -> None:
+        self.points.append((n, cost, timed_out))
+
+    @property
+    def largest_solved(self) -> Optional[int]:
+        solved = [n for n, _, t in self.points if not t]
+        return max(solved) if solved else None
+
+
+def summarize_scatter(points: Sequence[ScatterPoint]) -> Dict[str, float]:
+    """Aggregate statistics quoted alongside the paper's figures."""
+    if not points:
+        return {"points": 0}
+    po_wins = sum(1 for p in points if p.winner == "PO")
+    to_wins = sum(1 for p in points if p.winner == "TO")
+    ratios = [
+        p.to_cost / p.po_cost for p in points if not (p.to_timeout or p.po_timeout)
+    ]
+    geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios)) if ratios else float("nan")
+    return {
+        "points": len(points),
+        "po_wins": po_wins,
+        "to_wins": to_wins,
+        "ties": len(points) - po_wins - to_wins,
+        "geomean_to_over_po": geo,
+        "to_timeouts": sum(1 for p in points if p.to_timeout),
+        "po_timeouts": sum(1 for p in points if p.po_timeout),
+    }

@@ -1,0 +1,13 @@
+"""Benchmark instance generators (NCF, FPV, random/fixed suites)."""
+
+from repro.generators.random_qbf import (
+    random_prenex_qbf,
+    random_qbf,
+    random_tree_qbf,
+)
+
+__all__ = [
+    "random_prenex_qbf",
+    "random_qbf",
+    "random_tree_qbf",
+]

@@ -1,0 +1,5 @@
+"""QBF serialization: QDIMACS (prenex) and QTREE (non-prenex)."""
+
+from repro.io import qdimacs, qtree
+
+__all__ = ["qdimacs", "qtree"]

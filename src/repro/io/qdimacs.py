@@ -1,0 +1,124 @@
+"""QDIMACS reader/writer (the standard prenex QBF exchange format).
+
+Format::
+
+    c optional comments
+    p cnf <num-vars> <num-clauses>
+    e 1 2 0
+    a 3 0
+    e 4 0
+    1 -3 4 0
+    ...
+
+Quantifier lines alternate outermost-to-innermost; adjacent same-quantifier
+lines are merged (the format allows them). Variables appearing in clauses
+but in no quantifier line are bound existentially at the outermost level,
+per the QDIMACS convention (and the paper's Section II point 2).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS, FORALL, Quant
+from repro.core.prefix import Prefix
+
+
+class QdimacsError(ValueError):
+    """Raised on malformed QDIMACS input."""
+
+
+def dumps(formula: QBF, comments: Iterable[str] = ()) -> str:
+    """Serialize a *prenex* QBF to QDIMACS text."""
+    if not formula.is_prenex:
+        raise ValueError("QDIMACS requires a prenex QBF; prenex it or use repro.io.qtree")
+    out = io.StringIO()
+    for comment in comments:
+        out.write("c %s\n" % comment)
+    num_vars = max(formula.prefix.variables, default=0)
+    out.write("p cnf %d %d\n" % (num_vars, formula.num_clauses))
+    for quant, variables in formula.prefix.linear_blocks():
+        tag = "e" if quant is EXISTS else "a"
+        out.write("%s %s 0\n" % (tag, " ".join(map(str, variables))))
+    for clause in formula.clauses:
+        out.write("%s 0\n" % " ".join(map(str, clause.lits)))
+    return out.getvalue()
+
+
+def dump(formula: QBF, fp: Union[str, TextIO], comments: Iterable[str] = ()) -> None:
+    """Write QDIMACS to a path or file object."""
+    text = dumps(formula, comments)
+    if isinstance(fp, str):
+        with open(fp, "w") as handle:
+            handle.write(text)
+    else:
+        fp.write(text)
+
+
+def loads(text: str) -> QBF:
+    """Parse QDIMACS text into a (prenex) QBF."""
+    blocks: List[Tuple[Quant, List[int]]] = []
+    clauses: List[Tuple[int, ...]] = []
+    declared: set = set()
+    header_seen = False
+    prefix_done = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise QdimacsError("line %d: bad problem line %r" % (lineno, line))
+            header_seen = True
+            continue
+        if line[0] in "ea":
+            if prefix_done:
+                raise QdimacsError(
+                    "line %d: quantifier line after the first clause" % lineno
+                )
+            quant = EXISTS if line[0] == "e" else FORALL
+            nums = _parse_ints(line[1:], lineno)
+            if not nums or nums[-1] != 0:
+                raise QdimacsError("line %d: quantifier line must end with 0" % lineno)
+            variables = nums[:-1]
+            for v in variables:
+                if v <= 0:
+                    raise QdimacsError("line %d: bad variable %d" % (lineno, v))
+                if v in declared:
+                    raise QdimacsError("line %d: variable %d bound twice" % (lineno, v))
+                declared.add(v)
+            if blocks and blocks[-1][0] is quant:
+                blocks[-1][1].extend(variables)
+            else:
+                blocks.append((quant, list(variables)))
+            continue
+        prefix_done = True
+        nums = _parse_ints(line, lineno)
+        if not nums or nums[-1] != 0:
+            raise QdimacsError("line %d: clause must end with 0" % lineno)
+        lits = tuple(nums[:-1])
+        if any(l == 0 for l in lits):
+            raise QdimacsError("line %d: literal 0 inside clause" % lineno)
+        clauses.append(lits)
+    if not header_seen and not blocks and not clauses:
+        raise QdimacsError("empty input")
+    prefix = Prefix.linear([(q, tuple(vs)) for q, vs in blocks])
+    return QBF.close(prefix, clauses)
+
+
+def load(fp: Union[str, TextIO]) -> QBF:
+    """Read QDIMACS from a path or file object."""
+    if isinstance(fp, str):
+        with open(fp) as handle:
+            return loads(handle.read())
+    return loads(fp.read())
+
+
+def _parse_ints(chunk: str, lineno: int) -> List[int]:
+    try:
+        return [int(tok) for tok in chunk.split()]
+    except ValueError as exc:
+        raise QdimacsError("line %d: %s" % (lineno, exc)) from exc

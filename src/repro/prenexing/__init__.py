@@ -1,0 +1,19 @@
+"""Prenexing strategies [12] and Section VII-D scope minimization."""
+
+from repro.prenexing.miniscoping import miniscope, ordered_pairs, structure_ratio
+from repro.prenexing.strategies import (
+    STRATEGIES,
+    prenex,
+    prenex_all,
+    strategy_symbol,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "miniscope",
+    "ordered_pairs",
+    "prenex",
+    "prenex_all",
+    "strategy_symbol",
+    "structure_ratio",
+]

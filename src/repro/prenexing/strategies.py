@@ -1,0 +1,166 @@
+"""The four prenex-optimal strategies of Egly et al. [12] (Section V).
+
+A non-prenex QBF is converted to prenex form by extending its partial order
+``≺`` to a total order over an alternating sequence of *slots*. Each
+strategy shifts existential/universal quantifiers as high (``↑``) or as low
+(``↓``) as possible while staying compatible with ``≺``:
+
+========  ==========================  ==========================
+strategy  existential placement        universal placement
+========  ==========================  ==========================
+∃↑∀↑      as high as possible          as high as possible
+∃↑∀↓      as high as possible          as low as possible
+∃↓∀↑      as low as possible           as high as possible
+∃↓∀↓      as low as possible           as low as possible
+========  ==========================  ==========================
+
+Implementation: the alternating slot pattern starts with ``∃`` when the
+strategy says ``∃↑`` and with ``∀`` otherwise, and has two spare slots so
+every placement window is non-empty; unused slots vanish during prefix
+normalization, so the result has prefix level at most one above the
+original (equal to it whenever the top blocks agree with the pattern start,
+which is the paper's prenex-optimality condition).
+
+For the mixed strategies the first-named kind (the existential one) is
+placed from tree bounds alone, then the other kind is placed greedily
+against the already-fixed slots — every ``≺`` pair between two like
+quantifiers passes through a placed quantifier of the other kind, so the
+greedy pass cannot violate the order (asserted defensively anyway).
+
+The matrix is untouched, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS, FORALL, Quant
+from repro.core.prefix import Block, Prefix
+
+#: canonical strategy names, paper notation -> ascii.
+STRATEGIES = ("eu_au", "eu_ad", "ed_au", "ed_ad")
+
+_PRETTY = {
+    "eu_au": "∃↑∀↑",
+    "eu_ad": "∃↑∀↓",
+    "ed_au": "∃↓∀↑",
+    "ed_ad": "∃↓∀↓",
+}
+
+
+def strategy_symbol(name: str) -> str:
+    """Paper notation for an ascii strategy name."""
+    return _PRETTY[name]
+
+
+def _parse(name: str) -> Tuple[bool, bool]:
+    """Return (exists_up, forall_up)."""
+    if name not in STRATEGIES:
+        raise ValueError("unknown prenexing strategy %r (want one of %s)" % (name, STRATEGIES))
+    return name[1] == "u", name[4] == "u"
+
+
+def _slots_for(quant: Quant, first: Quant, num_slots: int) -> List[int]:
+    """Slot indices (1-based) carrying ``quant`` in the alternating pattern."""
+    offset = 1 if quant is first else 2
+    return list(range(offset, num_slots + 1, 2))
+
+
+def _smallest_above(slots: Sequence[int], bound: int) -> int:
+    for s in slots:
+        if s > bound:
+            return s
+    raise AssertionError("no slot above %d in %r" % (bound, slots))
+
+
+def _largest_below(slots: Sequence[int], bound: int) -> int:
+    for s in reversed(slots):
+        if s < bound:
+            return s
+    raise AssertionError("no slot below %d in %r" % (bound, slots))
+
+
+def prenex(formula: QBF, strategy: str = "eu_au") -> QBF:
+    """Convert ``formula`` to prenex form using the named strategy.
+
+    Returns a QBF with the same matrix and a total-order prefix extending
+    the original partial order. Prenex inputs are returned unchanged (they
+    are already their own prenex form under every strategy).
+    """
+    exists_up, forall_up = _parse(strategy)
+    prefix = formula.prefix
+    if prefix.is_prenex:
+        return formula
+    depth = prefix.prefix_level
+    num_slots = depth + 2
+    first = EXISTS if exists_up else FORALL
+    blocks = list(prefix.blocks)
+
+    def up_dependencies(block: Block) -> List[Block]:
+        """Ancestor blocks of strictly lower level (the ≺ predecessors)."""
+        return [a for a in block.ancestors() if a.level < block.level]
+
+    def down_dependencies(block: Block) -> List[Block]:
+        """Descendant blocks of strictly higher level (the ≺ successors)."""
+        return [d for d in block.subtree() if d.level > block.level]
+
+    slot: Dict[int, int] = {}
+    depth_below: Dict[int, int] = {}
+    for block in blocks:
+        depth_below[block.index] = max(d.level for d in block.subtree()) - block.level
+
+    def place_up(block: Block) -> None:
+        # Structural bound: a chain of level-1 alternating ancestors must fit
+        # above, whether or not those ancestors are placed yet.
+        bound = block.level - 1
+        for dep in up_dependencies(block):
+            if dep.index in slot:
+                bound = max(bound, slot[dep.index])
+        slot[block.index] = _smallest_above(_slots_for(block.quant, first, num_slots), bound)
+
+    def place_down(block: Block) -> None:
+        # Structural bound: the deepest alternating chain below must fit.
+        bound = num_slots - depth_below[block.index] + 1
+        for dep in down_dependencies(block):
+            if dep.index in slot:
+                bound = min(bound, slot[dep.index])
+        slot[block.index] = _largest_below(_slots_for(block.quant, first, num_slots), bound)
+
+    def run_kind(quant: Quant, up: bool) -> None:
+        kind_blocks = [b for b in blocks if b.quant is quant]
+        if up:
+            for block in kind_blocks:  # DFS order = ancestors first
+                place_up(block)
+        else:
+            for block in reversed(kind_blocks):  # descendants first
+                place_down(block)
+
+    # Existentials are placed first (from pure tree bounds), universals
+    # second (against the fixed existential slots).
+    run_kind(EXISTS, exists_up)
+    run_kind(FORALL, forall_up)
+
+    # Defensive check: the total order must extend ≺.
+    for block in blocks:
+        for dep in up_dependencies(block):
+            if slot[dep.index] >= slot[block.index]:
+                raise AssertionError(
+                    "strategy %s violated the prefix order (%r vs %r)"
+                    % (strategy, dep, block)
+                )
+
+    grouped: List[List[int]] = [[] for _ in range(num_slots + 1)]
+    for block in blocks:
+        grouped[slot[block.index]].extend(block.variables)
+    linear: List[Tuple[Quant, Tuple[int, ...]]] = []
+    for s in range(1, num_slots + 1):
+        if grouped[s]:
+            quant = first if s % 2 == 1 else first.dual
+            linear.append((quant, tuple(sorted(grouped[s]))))
+    return QBF(Prefix.linear(linear), [c.lits for c in formula.clauses])
+
+
+def prenex_all(formula: QBF) -> Dict[str, QBF]:
+    """All four prenexings of ``formula`` keyed by strategy name."""
+    return {name: prenex(formula, name) for name in STRATEGIES}

@@ -1,0 +1,37 @@
+"""NuSMV-substitute substrate: symbolic models + diameter QBFs (Sec. VII-C)."""
+
+from repro.smv.diameter import (
+    DiameterRun,
+    compute_diameter,
+    diameter_formula,
+    diameter_qbf,
+    t_prime,
+)
+from repro.smv.model import SymbolicModel, equal_states
+from repro.smv.models import (
+    CounterModel,
+    DmeModel,
+    RingModel,
+    SemaphoreModel,
+    model_by_name,
+)
+from repro.smv.reachability import distances, eccentricity, initial_states, num_reachable
+
+__all__ = [
+    "CounterModel",
+    "DiameterRun",
+    "DmeModel",
+    "RingModel",
+    "SemaphoreModel",
+    "SymbolicModel",
+    "compute_diameter",
+    "diameter_formula",
+    "diameter_qbf",
+    "distances",
+    "eccentricity",
+    "equal_states",
+    "initial_states",
+    "model_by_name",
+    "num_reachable",
+    "t_prime",
+]

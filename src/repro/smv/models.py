@@ -1,0 +1,212 @@
+"""The four parametric model families of the DIA suite (Section VII-C).
+
+The paper derives parametric versions of four models bundled with NuSMV:
+``counter<N>``, ``ring<N>``, ``dme<N>`` and ``semaphore<N>``. We implement
+the same families from their published descriptions:
+
+* :class:`CounterModel` — an N-bit binary counter; the distance from the
+  initial state grows as 2^N, which the paper uses to study scaling with
+  the *length* of the diameter.
+* :class:`RingModel` — a ring of inverters with asynchronous (one gate per
+  step) updates.
+* :class:`DmeModel` — a distributed mutual-exclusion ring: a token circles
+  the N stations; the diameter grows linearly with N.
+* :class:`SemaphoreModel` — N processes competing for a semaphore with a
+  constant diameter (3 for N ≥ 3 in the paper; our variant's ground truth
+  is computed by :mod:`repro.smv.reachability` and recorded in
+  EXPERIMENTS.md), used to study scaling with the *size of the model* at
+  fixed diameter.
+
+Exact state encodings differ from NuSMV's internals (which the paper does
+not publish); each class documents its encoding, and the QBF pipeline is
+validated against explicit-state BFS for every size we run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.formulas.ast import (
+    And,
+    FALSE,
+    Formula,
+    Iff,
+    Not,
+    TRUE,
+    Var,
+    Xor,
+    conj,
+    disj,
+)
+from repro.smv.model import SymbolicModel, at_most_one, equal_states, unchanged
+
+
+class CounterModel(SymbolicModel):
+    """N-bit binary counter: init 0, deterministic increment mod 2^N.
+
+    Bit 0 is the least significant. Eccentricity from the initial state is
+    2^N - 1 (every state reachable, the farthest in 2^N - 1 steps); the
+    paper quotes the family as having diameter "2^N" under its counting
+    convention.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("counter needs at least 1 bit")
+        self.num_bits = n
+        self.name = "counter%d" % n
+
+    def init(self, s: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        return conj(Not(Var(b)) for b in s)
+
+    def trans(self, s: Sequence[int], t: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        self.check_vector(t)
+        parts: List[Formula] = []
+        for i in range(self.num_bits):
+            if i == 0:
+                carry: Formula = TRUE
+            else:
+                carry = conj(Var(s[j]) for j in range(i))
+            parts.append(Iff(Var(t[i]), Xor(Var(s[i]), carry)))
+        return conj(parts)
+
+
+class RingModel(SymbolicModel):
+    """Ring of N inverters, asynchronous: one gate updates per step.
+
+    State bit i is the output of inverter i, driven by the output of
+    inverter i-1 (mod N). A step picks one gate i nondeterministically and
+    sets ``s'_i = ¬s_{i-1}``; all other outputs are unchanged. Initial
+    state: all outputs low.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("ring needs at least 2 inverters")
+        self.num_bits = n
+        self.name = "ring%d" % n
+
+    def init(self, s: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        return conj(Not(Var(b)) for b in s)
+
+    def trans(self, s: Sequence[int], t: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        self.check_vector(t)
+        n = self.num_bits
+        options: List[Formula] = []
+        for i in range(n):
+            fire = conj(
+                (
+                    Iff(Var(t[i]), Not(Var(s[(i - 1) % n]))),
+                    unchanged(s, t, [j for j in range(n) if j != i]),
+                )
+            )
+            options.append(fire)
+        return disj(options)
+
+
+class DmeModel(SymbolicModel):
+    """Distributed mutual exclusion as a token ring over N stations.
+
+    One-hot encoding: bit i set means station i holds the token. The token
+    moves to the next station each step (a station may also keep the token
+    for one step, modelling a user in its critical section). Initial state:
+    station 0 holds the token. Eccentricity: N - 1.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("dme needs at least 2 stations")
+        self.num_bits = n
+        self.name = "dme%d" % n
+
+    def init(self, s: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        return conj(
+            [Var(s[0])] + [Not(Var(b)) for b in s[1:]]
+        )
+
+    def trans(self, s: Sequence[int], t: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        self.check_vector(t)
+        n = self.num_bits
+        moves: List[Formula] = []
+        for i in range(n):
+            for target in (i, (i + 1) % n):  # hold or pass
+                state_t = conj(
+                    [Var(t[target])] + [Not(Var(t[j])) for j in range(n) if j != target]
+                )
+                state_s = conj(
+                    [Var(s[i])] + [Not(Var(s[j])) for j in range(n) if j != i]
+                )
+                moves.append(conj((state_s, state_t)))
+        return disj(moves)
+
+
+class SemaphoreModel(SymbolicModel):
+    """N processes and a semaphore; constant diameter as N grows.
+
+    Encoding: two bits per process — ``trying`` and ``critical`` (critical
+    implies trying). In one step, every idle process may independently start
+    trying, while *at most one* process performs a semaphore action: a
+    trying process acquires (if no process is critical in the current
+    state), or a critical process releases (returning to idle). This
+    "broadcast requests, serialized semaphore" semantics keeps every
+    reachable state within a constant number of steps of the initial
+    all-idle state, which is what makes the family useful for studying how
+    the solvers scale with model *size* at fixed diameter.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("semaphore needs at least 1 process")
+        self.num_procs = n
+        self.num_bits = 2 * n
+        self.name = "semaphore%d" % n
+
+    def _trying(self, s: Sequence[int], i: int) -> Formula:
+        return Var(s[2 * i])
+
+    def _critical(self, s: Sequence[int], i: int) -> Formula:
+        return Var(s[2 * i + 1])
+
+    def init(self, s: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        return conj(Not(Var(b)) for b in s)
+
+    def trans(self, s: Sequence[int], t: Sequence[int]) -> Formula:
+        self.check_vector(s)
+        self.check_vector(t)
+        n = self.num_procs
+        nobody_critical = conj(Not(self._critical(s, i)) for i in range(n))
+        local: List[Formula] = []
+        acquires: List[Formula] = []
+        releases: List[Formula] = []
+        for i in range(n):
+            trying_s, crit_s = self._trying(s, i), self._critical(s, i)
+            trying_t, crit_t = self._trying(t, i), self._critical(t, i)
+            acquire = conj((trying_s, Not(crit_s), nobody_critical, trying_t, crit_t))
+            release = conj((crit_s, Not(trying_t), Not(crit_t)))
+            start = conj((Not(trying_s), Not(crit_s), trying_t, Not(crit_t)))
+            stay = conj((Iff(trying_t, trying_s), Iff(crit_t, crit_s)))
+            acquires.append(acquire)
+            releases.append(release)
+            local.append(disj((start, stay, acquire, release)))
+        sem_actions = acquires + releases
+        return conj(local + [at_most_one(sem_actions)])
+
+
+def model_by_name(name: str, size: int) -> SymbolicModel:
+    """Factory used by benchmarks: ``counter``/``ring``/``dme``/``semaphore``."""
+    families = {
+        "counter": CounterModel,
+        "ring": RingModel,
+        "dme": DmeModel,
+        "semaphore": SemaphoreModel,
+    }
+    if name not in families:
+        raise ValueError("unknown model family %r (want one of %s)" % (name, sorted(families)))
+    return families[name](size)

@@ -1,0 +1,141 @@
+"""Tests for clauses/cubes and the Lemma-3 reductions."""
+
+import pytest
+
+from repro.core.constraints import (
+    Clause,
+    Cube,
+    existential_reduce,
+    is_contradictory,
+    is_trivially_true,
+    resolve,
+    unit_literal,
+    universal_reduce,
+)
+from repro.core.formula import paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.prefix import Prefix
+
+
+@pytest.fixture
+def eae():
+    """∃x1 ∀y2 ∃x3 — the minimal alternating prefix."""
+    return Prefix.linear([(EXISTS, [1]), (FORALL, [2]), (EXISTS, [3])])
+
+
+class TestConstraintBasics:
+    def test_clause_is_canonical(self):
+        assert Clause([3, -1]).lits == (-1, 3)
+
+    def test_cube_flag(self):
+        assert Cube([1]).is_cube
+        assert not Clause([1]).is_cube
+
+    def test_equality_distinguishes_kind(self):
+        assert Clause([1, 2]) == Clause([2, 1])
+        assert Clause([1, 2]) != Cube([1, 2])
+
+    def test_rejects_opposite_literals(self):
+        with pytest.raises(ValueError):
+            Clause([1, -1])
+
+    def test_len_iter_contains(self):
+        c = Clause([1, -2, 3])
+        assert len(c) == 3
+        assert set(c) == {1, -2, 3}
+        assert -2 in c and 2 not in c
+
+
+class TestUniversalReduce:
+    def test_drops_trailing_universal(self, eae):
+        # y2 has no existential in its scope inside {1, 2}: x1 is before it.
+        assert universal_reduce((1, 2), eae) == (1,)
+
+    def test_keeps_blocking_universal(self, eae):
+        # x3 is in the scope of y2, so y2 stays in {2, 3}.
+        assert universal_reduce((2, 3), eae) == (2, 3)
+
+    def test_all_universal_reduces_to_empty(self, eae):
+        assert universal_reduce((2,), eae) == ()
+        assert universal_reduce((-2,), eae) == ()
+
+    def test_preserves_polarity(self, eae):
+        assert universal_reduce((-1, -2), eae) == (-1,)
+
+    def test_tree_prefix_reduces_cross_branch(self):
+        # In the paper example, y1 (var 2) scopes over x1, x2 (3, 4) but not
+        # x3, x4 (6, 7): a clause {y1, x3} loses y1.
+        p = paper_example().prefix
+        assert universal_reduce((2, 6), p) == (6,)
+        assert universal_reduce((2, 3), p) == (2, 3)
+
+
+class TestExistentialReduce:
+    def test_drops_trailing_existential(self, eae):
+        # x3 is after every universal of the cube {2, 3}; it is dropped.
+        assert existential_reduce((2, 3), eae) == (2,)
+
+    def test_keeps_blocking_existential(self, eae):
+        # x1 is before y2, so it stays in the cube {1, 2}.
+        assert existential_reduce((1, 2), eae) == (1, 2)
+
+    def test_all_existential_reduces_to_empty(self, eae):
+        assert existential_reduce((1, 3), eae) == ()
+
+    def test_tree_prefix_drops_cross_branch_existential(self):
+        # Section VII-C shape: existentials on another branch than the
+        # universal are reduced away under the tree prefix.
+        p = paper_example().prefix
+        # cube {x1, y2}: x1 (var 3) is not before y2 (var 5) in the tree.
+        assert existential_reduce((3, 5), p) == (5,)
+        # cube {x0, y2}: x0 (var 1) is before y2, kept.
+        assert existential_reduce((1, 5), p) == (1, 5)
+
+
+class TestContradictionAndTriviality:
+    def test_contradictory(self, eae):
+        assert is_contradictory((2,), eae)
+        assert is_contradictory((), eae)
+        assert not is_contradictory((1, 2), eae)
+
+    def test_trivially_true_cube(self, eae):
+        assert is_trivially_true((1, 3), eae)
+        assert not is_trivially_true((1, 2), eae)
+
+
+class TestUnitLiteral:
+    def test_simple_unit(self, eae):
+        assert unit_literal((1,), eae) == 1
+        assert unit_literal((-3,), eae) == -3
+
+    def test_unit_with_nonblocking_universal(self, eae):
+        # {x1, y2}: y2 is not before x1 — unit on x1.
+        assert unit_literal((1, 2), eae) == 1
+
+    def test_not_unit_with_blocking_universal(self, eae):
+        # {y2, x3}: x3 is in the scope of y2 — not unit.
+        assert unit_literal((2, 3), eae) is None
+
+    def test_not_unit_with_two_existentials(self, eae):
+        assert unit_literal((1, 3), eae) is None
+
+    def test_tree_unit_across_branches(self):
+        # Paper Section V: nogood {y1, x2, x3, x4}-style constraints remain
+        # unit-capable under the tree where the total order would block them.
+        p = paper_example().prefix
+        # {x3, y1}: y1 (2) does not precede x3 (6) in the tree → unit.
+        assert unit_literal((6, 2), p) == 6
+
+
+class TestResolve:
+    def test_basic_resolution(self):
+        assert resolve((1, 2), (-1, 3), 1) == (2, 3)
+
+    def test_merges_shared_literals(self):
+        assert resolve((1, 2, 3), (-1, 2), 1) == (2, 3)
+
+    def test_tautology_returns_none(self):
+        assert resolve((1, 2), (-1, -2), 1) is None
+
+    def test_empty_resolvent(self):
+        assert resolve((1,), (-1,), 1) == ()

@@ -1,0 +1,64 @@
+"""Tests for the expansion oracle (against hand-computed values)."""
+
+import pytest
+
+from repro.core.expansion import evaluate
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+
+
+def test_empty_matrix_is_true():
+    assert evaluate(QBF.prenex([(EXISTS, [1])], []))
+
+
+def test_empty_clause_is_false():
+    assert not evaluate(QBF.prenex([(EXISTS, [1])], [()]))
+
+
+def test_plain_sat_true():
+    phi = QBF.prenex([(EXISTS, [1, 2])], [(1, 2), (-1, 2)])
+    assert evaluate(phi)
+
+
+def test_plain_sat_false():
+    phi = QBF.prenex([(EXISTS, [1])], [(1,), (-1,)])
+    assert not evaluate(phi)
+
+
+def test_forall_needs_both_branches():
+    # ∀y ∃x . (x ≡ y) is true; ∀y . y is false.
+    phi = QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1, 2), (-1, -2)])
+    assert evaluate(phi)
+    psi = QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1, 2), (-1, -2), (2,)])
+    assert not evaluate(psi)
+
+
+def test_quantifier_order_matters():
+    # ∃x ∀y (x ≡ y) is false, ∀y ∃x (x ≡ y) is true.
+    matrix = [(1, 2), (-1, -2)]
+    false_phi = QBF.prenex([(EXISTS, [1]), (FORALL, [2])], matrix)
+    true_phi = QBF.prenex([(FORALL, [2]), (EXISTS, [1])], matrix)
+    assert not evaluate(false_phi)
+    assert evaluate(true_phi)
+
+
+def test_paper_example_is_false():
+    # Figure 2 closes every branch with an empty clause: equation (1) is
+    # false (both x0 branches lead to a complete set of binary clauses).
+    assert not evaluate(paper_example())
+
+
+def test_tree_prefix_vs_prenexed_can_differ():
+    # (∃x (x)) ∧ (∀y ∃z (y ∨ z) ∧ (¬y ∨ ¬z)) — true as a tree.
+    phi = QBF.tree(
+        [(EXISTS, (1,), ()), (FORALL, (2,), ((EXISTS, (3,), ()),))],
+        [(1,), (2, 3), (-2, -3)],
+    )
+    assert evaluate(phi)
+
+
+def test_guard_on_large_formulas():
+    blocks = [(EXISTS, list(range(1, 60)))]
+    phi = QBF.prenex(blocks, [(1,)])
+    with pytest.raises(ValueError):
+        evaluate(phi, max_vars=40)

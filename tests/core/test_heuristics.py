@@ -1,0 +1,98 @@
+"""Unit tests for the branching heuristics (Section VI)."""
+
+import pytest
+
+from repro.core.formula import paper_example
+from repro.core.heuristics import POLICIES, ScoreKeeper, pick_literal
+from repro.core.literals import EXISTS, FORALL
+from repro.core.prefix import Prefix
+
+
+def keeper_for(prefix, clauses=()):
+    keeper = ScoreKeeper(prefix)
+    keeper.bump_initial(clauses)
+    return keeper
+
+
+class TestScoreKeeper:
+    def test_initial_counts_existential(self):
+        p = Prefix.linear([(EXISTS, [1, 2])])
+        k = keeper_for(p, [(1, -2), (1, 2)])
+        assert k.score[1] == 2.0
+        assert k.score[-2] == 1.0 and k.score[2] == 1.0
+
+    def test_universal_counts_complement(self):
+        # Universal literal 1 occurring positively bumps score[-1]: the
+        # universal player branches to falsify.
+        p = Prefix.linear([(FORALL, [1]), (EXISTS, [2])])
+        k = keeper_for(p, [(1, 2)])
+        assert k.score[-1] == 1.0
+        assert k.score[1] == 0.0
+
+    def test_decay(self):
+        p = Prefix.linear([(EXISTS, [1])])
+        k = ScoreKeeper(p, decay_interval=1)
+        k.bump_initial([(1,)])
+        assert k.score[1] == 1.0
+        k.on_learned((1,))
+        # bump then immediate decay: (1 + 1) * 0.5
+        assert k.score[1] == 1.0
+
+    def test_subtree_scores_monotone_in_order(self):
+        """If |l| ≺ |l'| then effective(l) > effective(l') with positive
+        deeper scores — the Section VI guarantee."""
+        phi = paper_example()
+        k = keeper_for(phi.prefix, [c.lits for c in phi.clauses])
+        for a in phi.prefix.variables:
+            for b in phi.prefix.variables:
+                if phi.prefix.prec(a, b):
+                    assert max(k.effective(a), k.effective(-a)) >= max(
+                        k.effective(b), k.effective(-b)
+                    ), (a, b)
+
+    def test_effective_on_sat_instance_equals_counter(self):
+        """Paper: on a SAT instance the PO score degenerates to the counter."""
+        p = Prefix.exists_only([1, 2, 3])
+        k = keeper_for(p, [(1, 2), (-1, 3)])
+        for lit in (1, -1, 2, -2, 3, -3):
+            assert k.effective(lit) == k.score[lit]
+
+
+class TestPickLiteral:
+    def test_empty_available(self):
+        p = Prefix.exists_only([1])
+        assert pick_literal("levelsub", keeper_for(p), []) is None
+
+    def test_naive_picks_smallest(self):
+        p = Prefix.exists_only([1, 2, 3])
+        assert pick_literal("naive", keeper_for(p), [3, 1, 2]) == 1
+
+    def test_counter_picks_hottest(self):
+        p = Prefix.exists_only([1, 2])
+        k = keeper_for(p, [(2,), (2,), (-1,)])
+        assert pick_literal("counter", k, [1, 2]) == 2
+
+    def test_polarity_follows_score(self):
+        p = Prefix.exists_only([1])
+        k = keeper_for(p, [(-1,), (-1,)])
+        assert pick_literal("counter", k, [1]) == -1
+
+    def test_levelsub_prefers_outer_levels(self):
+        phi = paper_example()
+        k = keeper_for(phi.prefix, [c.lits for c in phi.clauses])
+        # x0 (level 1) must beat any deeper variable, whatever the counters.
+        lit = pick_literal("levelsub", k, [1, 3, 6])
+        assert abs(lit) == 1
+
+    def test_unknown_policy_rejected(self):
+        p = Prefix.exists_only([1])
+        with pytest.raises(ValueError):
+            pick_literal("sideways", keeper_for(p), [1])
+
+    def test_all_policies_return_valid_literal(self):
+        phi = paper_example()
+        k = keeper_for(phi.prefix, [c.lits for c in phi.clauses])
+        available = [1, 3, 4]
+        for policy in POLICIES:
+            lit = pick_literal(policy, k, available)
+            assert abs(lit) in available

@@ -1,0 +1,264 @@
+"""Tests for the quantifier-tree prefix: ≺ order, d/f stamps, normalization."""
+
+import random
+
+import pytest
+
+from repro.core.formula import paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.prefix import Prefix
+
+
+def paper_prefix():
+    """Prefix of equation (1): x0=1, y1=2, x1=3, x2=4, y2=5, x3=6, x4=7."""
+    return paper_example().prefix
+
+
+class TestPaperExampleStamps:
+    """Section VI lists the d/f values for the running example."""
+
+    def test_discovery_stamps(self):
+        p = paper_prefix()
+        assert p.d(1) == 1  # x0
+        assert p.d(2) == 2  # y1
+        assert p.d(3) == 3 and p.d(4) == 3  # x1, x2
+        assert p.d(5) == 4  # y2
+        assert p.d(6) == 5 and p.d(7) == 5  # x3, x4
+
+    def test_finish_stamps(self):
+        p = paper_prefix()
+        assert p.f(2) == 3  # y1
+        assert p.f(3) == 3 and p.f(4) == 3
+        assert p.f(1) == 5  # x0
+        assert p.f(5) == 5  # y2
+        assert p.f(6) == 5 and p.f(7) == 5
+
+    def test_equation_13_order(self):
+        p = paper_prefix()
+        # x0 precedes everything else.
+        for v in (2, 3, 4, 5, 6, 7):
+            assert p.prec(1, v)
+        # y1 precedes x1, x2 but not the other branch.
+        assert p.prec(2, 3) and p.prec(2, 4)
+        assert not p.prec(2, 5)
+        assert not p.prec(2, 6)
+        # No order within a block, no reverse order.
+        assert not p.prec(3, 4)
+        assert not p.prec(3, 1)
+        assert not p.prec(6, 5)
+
+    def test_levels(self):
+        p = paper_prefix()
+        assert p.level(1) == 1
+        assert p.level(2) == 2 and p.level(5) == 2
+        assert p.level(3) == 3 and p.level(7) == 3
+        assert p.prefix_level == 3
+
+    def test_top_variables(self):
+        assert paper_prefix().top_variables() == (1,)
+
+    def test_not_prenex(self):
+        assert not paper_prefix().is_prenex
+
+
+class TestLinearPrefix:
+    def test_total_order(self):
+        p = Prefix.linear([(EXISTS, [1, 2]), (FORALL, [3]), (EXISTS, [4])])
+        assert p.is_prenex
+        assert p.prec(1, 3) and p.prec(3, 4) and p.prec(1, 4)
+        assert not p.prec(1, 2)
+        assert not p.prec(4, 1)
+        assert p.prefix_level == 3
+
+    def test_adjacent_same_quant_blocks_merge(self):
+        p = Prefix.linear([(EXISTS, [1]), (EXISTS, [2]), (FORALL, [3])])
+        assert not p.prec(1, 2)
+        assert p.prec(1, 3) and p.prec(2, 3)
+        assert p.level(1) == 1 and p.level(2) == 1
+        assert len(p.blocks) == 2
+
+    def test_linear_blocks_roundtrip(self):
+        blocks = [(EXISTS, (1, 2)), (FORALL, (3,)), (EXISTS, (4,))]
+        p = Prefix.linear(blocks)
+        assert p.linear_blocks() == blocks
+
+    def test_linear_blocks_rejects_tree(self):
+        with pytest.raises(ValueError):
+            paper_prefix().linear_blocks()
+
+    def test_exists_only(self):
+        p = Prefix.exists_only([1, 2, 3])
+        assert p.is_prenex
+        assert p.prefix_level == 1
+        assert not p.prec(1, 2)
+
+    def test_empty(self):
+        p = Prefix.linear([])
+        assert p.is_prenex
+        assert p.num_vars == 0
+        assert p.prefix_level == 0
+        assert p.top_variables() == ()
+
+
+class TestNormalization:
+    def test_same_quant_parent_child_merge(self):
+        p = Prefix.tree([(EXISTS, (1,), ((EXISTS, (2,), ((FORALL, (3,), ()),)),))])
+        assert len(p.blocks) == 2
+        assert not p.prec(1, 2)
+        assert p.prec(1, 3) and p.prec(2, 3)
+
+    def test_empty_block_spliced(self):
+        p = Prefix.tree([(EXISTS, (1,), ((FORALL, (), ((EXISTS, (2,), ()),)),))])
+        # ∀{} disappears; ∃{2} merges into ∃{1}.
+        assert len(p.blocks) == 1
+        assert not p.prec(1, 2)
+
+    def test_same_quant_nested_with_alternation_keeps_order(self):
+        # ∃1 ∀2 ∃3 — 1 ≺ 3 through the alternation.
+        p = Prefix.tree([(EXISTS, (1,), ((FORALL, (2,), ((EXISTS, (3,), ()),)),))])
+        assert p.prec(1, 3)
+        assert p.prec(1, 2) and p.prec(2, 3)
+
+    def test_forest_roots_are_unordered(self):
+        p = Prefix.tree([(EXISTS, (1,), ()), (FORALL, (2,), ())])
+        assert not p.prec(1, 2) and not p.prec(2, 1)
+        assert p.level(1) == 1 and p.level(2) == 1
+        assert set(p.top_variables()) == {1, 2}
+
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.tree([(EXISTS, (1,), ((FORALL, (1,), ()),))])
+
+    def test_nonpositive_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.tree([(EXISTS, (0,), ())])
+
+
+class TestRestrict:
+    def test_restrict_removes_variable(self):
+        p = paper_prefix().restrict([2])
+        assert 2 not in p
+        # With y1 gone there is no alternation left between x0 and x1: the
+        # scope-faithful cofactor drops the derived pair x0 ≺ x1 (they are
+        # now adjacent same-quantifier blocks and commute).
+        assert not p.prec(1, 3)
+        # The other branch still alternates through y2.
+        assert p.prec(1, 6)
+
+    def test_restrict_merges_across_removed_alternation(self):
+        p = Prefix.linear([(EXISTS, [1]), (FORALL, [2]), (EXISTS, [3])])
+        q = p.restrict([2])
+        assert not q.prec(1, 3)
+        assert q.level(3) == 1
+
+    def test_restrict_keeps_order_with_other_paths(self):
+        p = paper_prefix()
+        q = p.restrict([3, 4])  # drop x1, x2; y1 keeps no children
+        assert q.prec(1, 2)
+        assert q.prec(1, 6)
+
+
+class TestDunder:
+    def test_equality_ignores_child_order(self):
+        a = Prefix.tree([(EXISTS, (1,), ((FORALL, (2,), ()), (FORALL, (3,), ())))])
+        b = Prefix.tree([(EXISTS, (1,), ((FORALL, (3,), ()), (FORALL, (2,), ())))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = Prefix.linear([(EXISTS, [1]), (FORALL, [2])])
+        b = Prefix.linear([(FORALL, [2]), (EXISTS, [1])])
+        assert a != b
+
+    def test_repr_contains_symbols(self):
+        r = repr(Prefix.linear([(EXISTS, [1]), (FORALL, [2])]))
+        assert "∃" in r and "∀" in r
+
+    def test_contains(self):
+        p = paper_prefix()
+        assert 1 in p and 7 in p and 8 not in p
+
+
+def _reference_prec(spec_roots, z1, z2):
+    """≺ computed directly from the Section II definition on a raw spec."""
+    parent = {}
+    node_of = {}
+    quant_of_node = {}
+    node_has_vars = {}
+    counter = [0]
+
+    def walk(spec, par):
+        counter[0] += 1
+        node = counter[0]
+        parent[node] = par
+        quant, variables, children = spec[0], spec[1], spec[2] if len(spec) > 2 else ()
+        quant_of_node[node] = quant
+        node_has_vars[node] = bool(variables)
+        for v in variables:
+            node_of[v] = node
+        for child in children:
+            walk(child, node)
+
+    for spec in spec_roots:
+        walk(spec, None)
+    n1, n2 = node_of[z1], node_of[z2]
+    if n1 == n2:
+        return False
+    # Is n1 a proper ancestor of n2?
+    chain = []
+    node = parent[n2]
+    while node is not None and node != n1:
+        chain.append(node)
+        node = parent[node]
+    if node != n1:
+        return False
+    q1, q2 = quant_of_node[n1], quant_of_node[n2]
+    if q1 is not q2:
+        return True
+    # Same quantifier: the Section II definition needs an intermediate
+    # *variable* of the dual quantifier — empty blocks do not provide one.
+    return any(quant_of_node[n] is not q1 and node_has_vars[n] for n in chain)
+
+
+def _random_spec(rng, next_var, depth):
+    quant = rng.choice([EXISTS, FORALL])
+    nvars = rng.randint(0, 2)
+    vs = tuple(range(next_var[0], next_var[0] + nvars))
+    next_var[0] += nvars
+    children = []
+    if depth > 0:
+        for _ in range(rng.randint(0, 2)):
+            children.append(_random_spec(rng, next_var, depth - 1))
+    return (quant, vs, tuple(children))
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_prec_matches_reference_on_random_specs(seed):
+    """Property: normalized-tree prec == the raw Section II definition."""
+    rng = random.Random(seed)
+    next_var = [1]
+    roots = [_random_spec(rng, next_var, 3) for _ in range(rng.randint(1, 2))]
+    prefix = Prefix.tree(roots)
+    variables = prefix.variables
+    for z1 in variables:
+        for z2 in variables:
+            if z1 == z2:
+                continue
+            assert prefix.prec(z1, z2) == _reference_prec(roots, z1, z2), (
+                seed,
+                z1,
+                z2,
+            )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_levels_match_longest_chain(seed):
+    """Property: level(z) == 1 + max level over ≺-predecessors."""
+    rng = random.Random(seed)
+    next_var = [1]
+    roots = [_random_spec(rng, next_var, 3)]
+    prefix = Prefix.tree(roots)
+    for z in prefix.variables:
+        preds = [w for w in prefix.variables if prefix.prec(w, z)]
+        expected = 1 + max((prefix.level(w) for w in preds), default=0)
+        assert prefix.level(z) == expected

@@ -1,0 +1,175 @@
+"""Hypothesis property tests on the kernel's core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constraints import (
+    existential_reduce,
+    resolve,
+    universal_reduce,
+)
+from repro.core.expansion import evaluate
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS, FORALL
+from repro.core.prefix import Prefix
+from repro.core.solver import SolverConfig, solve
+from repro.generators.random_qbf import random_prenex_qbf, random_qbf
+from repro.io import qtree
+from repro.prenexing.miniscoping import miniscope
+from repro.prenexing.strategies import STRATEGIES, prenex
+
+# A compact strategy for random prefixes: alternating blocks over 1..n.
+prefix_strategy = st.integers(min_value=1, max_value=4).flatmap(
+    lambda blocks: st.tuples(
+        st.just(blocks),
+        st.integers(min_value=1, max_value=3),
+        st.booleans(),
+    )
+)
+
+
+def _make_prefix(spec):
+    blocks, size, start_exists = spec
+    quant = EXISTS if start_exists else FORALL
+    out = []
+    v = 1
+    for _ in range(blocks):
+        out.append((quant, tuple(range(v, v + size))))
+        v += size
+        quant = quant.dual
+    return Prefix.linear(out)
+
+
+def _random_lits(rng, prefix, max_len):
+    pool = list(prefix.variables)
+    rng.shuffle(pool)
+    chosen = pool[: rng.randint(1, min(max_len, len(pool)))]
+    return tuple(v if rng.random() < 0.5 else -v for v in chosen)
+
+
+@given(prefix_strategy, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_universal_reduce_is_idempotent_and_shrinking(spec, seed):
+    prefix = _make_prefix(spec)
+    rng = random.Random(seed)
+    lits = _random_lits(rng, prefix, 6)
+    once = universal_reduce(lits, prefix)
+    assert set(once) <= set(lits)
+    assert universal_reduce(once, prefix) == once
+    # No existential literal is ever deleted.
+    for l in lits:
+        if prefix.is_existential(l):
+            assert l in once
+
+
+@given(prefix_strategy, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_existential_reduce_is_dual(spec, seed):
+    prefix = _make_prefix(spec)
+    rng = random.Random(seed)
+    lits = _random_lits(rng, prefix, 6)
+    once = existential_reduce(lits, prefix)
+    assert set(once) <= set(lits)
+    assert existential_reduce(once, prefix) == once
+    for l in lits:
+        if prefix.is_universal(l):
+            assert l in once
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_resolution_never_contains_pivot(seed):
+    rng = random.Random(seed)
+    n = rng.randint(2, 8)
+    pivot = rng.randint(1, n)
+    a = tuple(
+        set(
+            [pivot]
+            + [rng.choice([v, -v]) for v in rng.sample(range(1, n + 1), rng.randint(0, n - 1))]
+        )
+    )
+    b = tuple(
+        set(
+            [-pivot]
+            + [rng.choice([v, -v]) for v in rng.sample(range(1, n + 1), rng.randint(0, n - 1))]
+        )
+    )
+    try:
+        from repro.core.constraints import Clause
+
+        Clause(a), Clause(b)
+    except ValueError:
+        return  # a or b had an internal tautology; not a valid input
+    resolvent = resolve(a, b, pivot)
+    if resolvent is not None:
+        assert pivot not in resolvent and -pivot not in resolvent
+        assert set(resolvent) <= (set(a) | set(b)) - {pivot, -pivot}
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_solver_agrees_with_oracle(seed):
+    rng = random.Random(seed)
+    phi = random_qbf(
+        rng,
+        prenex=bool(seed % 2),
+        **(
+            dict(num_blocks=rng.randint(2, 3), block_size=rng.randint(1, 2),
+                 num_clauses=rng.randint(3, 10), clause_len=3)
+            if seed % 2
+            else dict(depth=2, branching=2, block_size=rng.randint(1, 2),
+                      clauses_per_scope=2, clause_len=3)
+        ),
+    )
+    expected = evaluate(phi, max_vars=None)
+    assert solve(phi).value == expected
+    assert solve(phi, SolverConfig(learn_clauses=False, learn_cubes=False)).value == expected
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(STRATEGIES))
+@settings(max_examples=30, deadline=None)
+def test_prenexing_preserves_value_and_extends_order(seed, strategy):
+    rng = random.Random(seed)
+    phi = random_qbf(rng, prenex=False, depth=2, branching=2, block_size=1,
+                     clauses_per_scope=2, clause_len=3)
+    flat = prenex(phi, strategy)
+    assert flat.is_prenex
+    for a in phi.prefix.variables:
+        for b in phi.prefix.variables:
+            if a != b and phi.prefix.prec(a, b):
+                assert flat.prefix.prec(a, b)
+    assert solve(flat).value == solve(phi).value
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_miniscope_preserves_value(seed):
+    rng = random.Random(seed)
+    phi = random_prenex_qbf(rng, num_blocks=rng.randint(2, 3), block_size=2,
+                            num_clauses=rng.randint(3, 10), clause_len=3)
+    tree = miniscope(phi)
+    assert solve(tree).value == solve(phi).value
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_qtree_roundtrip(seed):
+    rng = random.Random(seed)
+    phi = random_qbf(rng)
+    assert qtree.loads(qtree.dumps(phi)) == phi
+
+
+@given(prefix_strategy)
+@settings(max_examples=40, deadline=None)
+def test_prec_is_a_strict_partial_order(spec):
+    prefix = _make_prefix(spec)
+    vs = prefix.variables
+    for a in vs:
+        assert not prefix.prec(a, a)
+        for b in vs:
+            if prefix.prec(a, b):
+                assert not prefix.prec(b, a)
+            for c in vs:
+                if prefix.prec(a, b) and prefix.prec(b, c):
+                    assert prefix.prec(a, c)

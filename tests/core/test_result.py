@@ -1,0 +1,52 @@
+"""Tests for outcome/statistics containers."""
+
+import pytest
+
+from repro.core.result import BudgetExceeded, Outcome, SolveResult, SolverStats
+
+
+class TestOutcome:
+    def test_truthiness(self):
+        assert bool(Outcome.TRUE) is True
+        assert bool(Outcome.FALSE) is False
+
+    def test_unknown_has_no_truth_value(self):
+        with pytest.raises(ValueError):
+            bool(Outcome.UNKNOWN)
+
+    def test_values(self):
+        assert Outcome("true") is Outcome.TRUE
+        assert Outcome("unknown") is Outcome.UNKNOWN
+
+
+class TestSolveResult:
+    def test_value_property(self):
+        assert SolveResult(Outcome.TRUE).value is True
+        assert SolveResult(Outcome.FALSE).value is False
+
+    def test_timed_out(self):
+        assert SolveResult(Outcome.UNKNOWN).timed_out
+        assert not SolveResult(Outcome.TRUE).timed_out
+
+    def test_repr_contains_outcome(self):
+        r = SolveResult(Outcome.FALSE, SolverStats(decisions=3), 0.5)
+        assert "false" in repr(r)
+        assert "decisions=3" in repr(r)
+
+
+class TestSolverStats:
+    def test_backtracks_is_conflicts_plus_solutions(self):
+        stats = SolverStats(conflicts=3, solutions=4)
+        assert stats.backtracks == 7
+
+    def test_defaults_zero(self):
+        stats = SolverStats()
+        assert stats.decisions == 0
+        assert stats.learned_clauses == 0
+        assert stats.max_trail == 0
+
+
+def test_budget_exceeded_records_spent():
+    err = BudgetExceeded(42)
+    assert err.spent == 42
+    assert "42" in str(err)

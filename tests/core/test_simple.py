@@ -1,0 +1,112 @@
+"""Tests for the recursive Figure-1 Q-DLL reference solver."""
+
+import random
+
+import pytest
+
+from repro.core.expansion import evaluate
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.result import BudgetExceeded
+from repro.core.simple import first_top_literal, q_dll
+from repro.generators.random_qbf import random_qbf
+
+
+def test_true_on_empty_matrix():
+    value, stats, _ = q_dll(QBF.prenex([(EXISTS, [1])], []))
+    assert value
+    assert stats.branches == 0
+
+
+def test_false_on_contradictory_clause():
+    # An all-universal clause is contradictory before any search (Lemma 4).
+    value, stats, _ = q_dll(QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1,), (2,)]))
+    assert not value
+    assert stats.branches == 0
+
+
+def test_unit_propagation_used():
+    phi = QBF.prenex([(EXISTS, [1, 2])], [(1,), (-1, 2)])
+    value, stats, _ = q_dll(phi)
+    assert value
+    assert stats.units >= 2
+    assert stats.branches == 0
+
+
+def test_paper_example_false():
+    value, _, _ = q_dll(paper_example())
+    assert not value
+
+
+def test_paper_example_tree_recorded():
+    value, _, tree = q_dll(paper_example(), record_tree=True)
+    assert not value
+    assert tree is not None
+    assert tree.verdict is False
+    rendered = tree.render()
+    assert "FALSE" in rendered
+
+
+def test_figure2_branch_shape():
+    """Reproduce the Figure 2 search tree: the x̄0 branch is closed using
+    only y1 and the x0 branch using only y2 — a branching order impossible
+    under any total-order extension of the prefix (Section V)."""
+
+    def fig2_heuristic(formula):
+        p = formula.prefix
+        tops = p.top_variables()
+        exist_tops = [v for v in tops if p.quant(v) is EXISTS]
+        if exist_tops:
+            return -min(exist_tops) if 1 in exist_tops else min(exist_tops)
+
+        def weight(y):
+            sub = {y} | {w for w in p.variables if p.prec(y, w)}
+            return sum(
+                1 for c in formula.clauses if any(abs(l) in sub for l in c.lits)
+            )
+
+        return -max(tops, key=weight)
+
+    value, stats, tree = q_dll(paper_example(), heuristic=fig2_heuristic, record_tree=True)
+    assert not value
+    # Root branches on x̄0 then x0.
+    assert [child.path[-1] for child in tree.children] == [-1, 1]
+    left, right = tree.children
+    # Left subtree branches on ȳ1 only, right subtree on ȳ2 only.
+    assert left.children[0].path[-1] == -2
+    assert right.children[0].path[-1] == -5
+    # The optimal Figure 2 tree assigns exactly 8 literals as branches.
+    assert stats.branches == 8
+
+
+def test_budget_raises():
+    rng = random.Random(7)
+    phi = random_qbf(rng, prenex=True, num_blocks=3, block_size=2, num_clauses=12)
+    with pytest.raises(BudgetExceeded):
+        q_dll(phi, max_branches=0)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_matches_oracle_on_random_qbfs(seed):
+    rng = random.Random(seed)
+    phi = random_qbf(
+        rng, prenex=True, num_blocks=3, block_size=2, num_clauses=9, clause_len=3
+    )
+    expected = evaluate(phi)
+    value, _, _ = q_dll(phi)
+    assert value == expected
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_matches_oracle_on_random_trees(seed):
+    rng = random.Random(1000 + seed)
+    phi = random_qbf(rng, prenex=False, depth=3, branching=2, block_size=2)
+    expected = evaluate(phi)
+    value, _, _ = q_dll(phi)
+    assert value == expected
+
+
+def test_first_top_literal_returns_top():
+    phi = paper_example()
+    lit = first_top_literal(phi)
+    assert abs(lit) in phi.prefix.top_variables()

@@ -1,0 +1,123 @@
+"""Targeted behavioural tests of the QDPLL engine internals."""
+
+import pytest
+
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.result import Outcome
+from repro.core.solver import QdpllSolver, SolverConfig, solve
+
+
+class TestInstall:
+    def test_duplicate_clauses_deduplicated(self):
+        phi = QBF.prenex([(EXISTS, [1, 2])], [(1, 2), (1, 2), (2, 1)])
+        solver = QdpllSolver(phi)
+        assert len(solver._orig_clauses) == 1
+
+    def test_install_reduces_universals(self):
+        # (x ∨ y) with y universal *after* x reduces to (x) at load time.
+        phi = QBF.prenex([(EXISTS, [1]), (FORALL, [2])], [(1, 2)])
+        solver = QdpllSolver(phi)
+        assert solver._orig_clauses[0].lits == (1,)
+
+    def test_install_detects_trivially_false(self):
+        phi = QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1,), (2,)])
+        assert solve(phi).outcome is Outcome.FALSE
+
+    def test_unused_prefix_variable_is_harmless(self):
+        phi = QBF.prenex([(EXISTS, [1, 9]), (FORALL, [2])], [(1, 2), (1, -2)])
+        assert solve(phi).outcome is Outcome.TRUE
+
+
+class TestPropagation:
+    def test_unit_chain_at_level_zero(self):
+        phi = QBF.prenex(
+            [(EXISTS, [1, 2, 3])],
+            [(1,), (-1, 2), (-2, 3)],
+        )
+        result = solve(phi)
+        assert result.outcome is Outcome.TRUE
+        assert result.stats.decisions == 0
+
+    def test_unit_blocked_by_scoped_universal(self):
+        # {y, x} with x in y's scope is NOT unit; the formula is false
+        # because the universal player sets y false and then x alone
+        # cannot satisfy both clauses.
+        phi = QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1, 2), (1, -2)])
+        assert solve(phi).outcome is Outcome.FALSE
+
+    def test_unit_fires_across_tree_branches(self):
+        # {y1-branch...} clause with a universal from the *other* branch is
+        # unit under the tree (the universal does not scope over it).
+        phi = QBF.tree(
+            [
+                (
+                    EXISTS,
+                    (1,),
+                    (
+                        (FORALL, (2,), ((EXISTS, (3,), ()),)),
+                        (FORALL, (4,), ((EXISTS, (5,), ()),)),
+                    ),
+                )
+            ],
+            [(3, 2), (-3, 2), (5, 4), (-5, 4)],
+        )
+        # Each branch forces its existential both ways when its universal is
+        # false: the whole thing is false.
+        assert solve(phi).outcome is Outcome.FALSE
+
+    def test_pure_literal_statistics(self):
+        phi = QBF.prenex([(EXISTS, [1, 2])], [(1, 2)])
+        solver = QdpllSolver(phi)
+        result = solver.solve()
+        assert result.outcome is Outcome.TRUE
+        assert solver.stats.pure_literals >= 1
+        assert solver.stats.decisions == 0
+
+    def test_universal_pure_literal_is_adversarial(self):
+        # y occurs only positively: the universal player assigns y *true*
+        # never helps falsify; the rule assigns the absent polarity.
+        phi = QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1, 2), (1, -2)])
+        result = solve(phi)
+        assert result.outcome is Outcome.FALSE
+
+
+class TestLearningMachinery:
+    def test_learned_constraints_recorded(self):
+        phi = paper_example()
+        solver = QdpllSolver(phi)
+        result = solver.solve()
+        assert result.outcome is Outcome.FALSE
+        # Any learned clause must mention only prefix variables.
+        for lits in solver._learned_clauses:
+            for lit in lits:
+                assert abs(lit) in phi.prefix
+
+    def test_backjump_modes_agree_on_value(self):
+        phi = paper_example()
+        a = solve(phi, SolverConfig(backjump="assert"))
+        b = solve(phi, SolverConfig(backjump="shallow"))
+        assert a.outcome == b.outcome
+
+    def test_bad_backjump_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SolverConfig(backjump="diagonal")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SolverConfig(policy="wishful")
+
+
+class TestBudgets:
+    def test_time_budget(self):
+        phi = paper_example()
+        result = solve(phi, SolverConfig(max_seconds=0.0))
+        # Either it finishes instantly during setup or reports UNKNOWN.
+        assert result.outcome in (Outcome.FALSE, Outcome.UNKNOWN)
+
+    def test_decision_budget_exact(self):
+        phi = paper_example()
+        result = solve(phi, SolverConfig(max_decisions=1, pure_literals=False,
+                                         learn_clauses=False, learn_cubes=False))
+        assert result.outcome is Outcome.UNKNOWN
+        assert result.stats.decisions <= 2

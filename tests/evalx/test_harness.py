@@ -1,0 +1,187 @@
+"""Tests for the experiment harness (runner, Table I counters, figures)."""
+
+import pytest
+
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.result import Outcome
+from repro.evalx.runner import Budget, Measurement, check_agreement, solve_po, solve_to
+from repro.evalx.scatter import (
+    ScalingSeries,
+    ScatterPoint,
+    median,
+    pair_point,
+    setting_medians,
+    summarize_scatter,
+    virtual_best,
+)
+from repro.evalx.report import render_kv, render_scaling, render_scatter
+from repro.evalx.table1 import Table1Row, build_row, classify_pair, render_table
+
+
+def meas(solver="PO", outcome=Outcome.TRUE, decisions=100, instance="i"):
+    return Measurement(
+        instance=instance,
+        solver=solver,
+        outcome=outcome,
+        decisions=decisions,
+        seconds=0.01,
+    )
+
+
+class TestRunner:
+    def test_solve_po_and_to_agree_on_paper_example(self):
+        phi = paper_example()
+        po = solve_po(phi, "eq1", budget=Budget(decisions=1000))
+        to = solve_to(phi, "eq1", budget=Budget(decisions=1000))
+        assert po.outcome is Outcome.FALSE
+        assert to.outcome is Outcome.FALSE
+        check_agreement(po, to)
+        assert po.solver == "PO"
+        assert to.solver.startswith("TO(")
+
+    def test_budget_makes_unknown(self):
+        phi = paper_example()
+        po = solve_po(phi, budget=Budget(decisions=0))
+        assert po.timed_out
+
+    def test_check_agreement_raises_on_mismatch(self):
+        a = meas(outcome=Outcome.TRUE)
+        b = meas(solver="TO", outcome=Outcome.FALSE)
+        with pytest.raises(AssertionError):
+            check_agreement(a, b)
+
+    def test_check_agreement_ignores_timeouts(self):
+        a = meas(outcome=Outcome.UNKNOWN)
+        b = meas(solver="TO", outcome=Outcome.FALSE)
+        check_agreement(a, b)
+
+    def test_overrides_forwarded(self):
+        phi = paper_example()
+        po = solve_po(phi, budget=Budget(decisions=1000), policy="naive")
+        assert po.outcome is Outcome.FALSE
+
+
+class TestTable1:
+    def test_to_slower_counts(self):
+        row = Table1Row("s", "eu_au")
+        classify_pair(row, meas("TO", decisions=1000), meas("PO", decisions=10), tie_margin=50)
+        assert row.to_slower == 1
+        assert row.to_slower_10x == 1
+        assert row.total == 1
+
+    def test_tie_within_margin(self):
+        row = Table1Row("s", "eu_au")
+        classify_pair(row, meas("TO", decisions=120), meas("PO", decisions=100), tie_margin=50)
+        assert row.ties == 1
+        assert row.to_slower == 0
+
+    def test_one_sided_timeouts(self):
+        row = Table1Row("s", "eu_au")
+        classify_pair(
+            row,
+            meas("TO", outcome=Outcome.UNKNOWN, decisions=2000),
+            meas("PO", decisions=10),
+            tie_margin=50,
+        )
+        assert row.to_timeout_only == 1
+        assert row.to_slower == 1
+        assert row.to_slower_10x == 1
+
+    def test_double_timeout_is_tie(self):
+        row = Table1Row("s", "eu_au")
+        classify_pair(
+            row,
+            meas("TO", outcome=Outcome.UNKNOWN, decisions=2000),
+            meas("PO", outcome=Outcome.UNKNOWN, decisions=2000),
+            tie_margin=50,
+        )
+        assert row.both_timeout == 1
+        assert row.ties == 1
+
+    def test_build_row_and_render(self):
+        pairs = [
+            (meas("TO", decisions=1000), meas("PO", decisions=10)),
+            (meas("TO", decisions=10), meas("PO", decisions=1000)),
+        ]
+        row = build_row("NCF", "eu_au", pairs)
+        assert row.total == 2
+        text = render_table([row])
+        assert "NCF" in text and "eu_au" in text
+
+    def test_columns_order(self):
+        row = Table1Row("s", "x", 1, 2, 3, 4, 5, 6, 7, 8, total=9)
+        assert row.columns == (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+class TestScatter:
+    def test_pair_point_winner(self):
+        p = pair_point("i", meas("TO", decisions=100), meas("PO", decisions=10))
+        assert p.winner == "PO"
+        assert p.to_cost == 100 and p.po_cost == 10
+
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_virtual_best_prefers_completion(self):
+        per = {
+            "a": meas("TO(a)", outcome=Outcome.UNKNOWN, decisions=5),
+            "b": meas("TO(b)", decisions=500),
+        }
+        assert virtual_best(per).solver == "TO(b)"
+
+    def test_virtual_best_lowest_cost(self):
+        per = {
+            "a": meas("TO(a)", decisions=700),
+            "b": meas("TO(b)", decisions=500),
+        }
+        assert virtual_best(per).solver == "TO(b)"
+
+    def test_setting_medians_groups(self):
+        runs = [
+            ("s1", meas("TO", decisions=100), meas("PO", decisions=10)),
+            ("s1", meas("TO", decisions=300), meas("PO", decisions=30)),
+            ("s2", meas("TO", decisions=8), meas("PO", decisions=8)),
+        ]
+        points = setting_medians(runs)
+        assert len(points) == 2
+        s1 = next(p for p in points if p.label == "s1")
+        assert s1.to_cost == 200 and s1.po_cost == 20
+
+    def test_summarize(self):
+        points = [
+            ScatterPoint("a", po_cost=10, to_cost=100),
+            ScatterPoint("b", po_cost=100, to_cost=10),
+            ScatterPoint("c", po_cost=10, to_cost=10),
+        ]
+        stats = summarize_scatter(points)
+        assert stats["points"] == 3
+        assert stats["po_wins"] == 1 and stats["to_wins"] == 1 and stats["ties"] == 1
+        assert stats["geomean_to_over_po"] == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_render_scatter_smoke(self):
+        points = [ScatterPoint("a", po_cost=10, to_cost=100)]
+        text = render_scatter(points, title="Figure X")
+        assert "Figure X" in text
+        assert "*" in text
+        assert "PO-wins=1" in text
+
+    def test_render_scatter_empty(self):
+        assert render_scatter([]) == "(no points)"
+
+    def test_render_scaling(self):
+        series = ScalingSeries("counter3")
+        series.add(0, 10, False)
+        series.add(1, 100, True)
+        text = render_scaling([series], title="Figure 6")
+        assert "counter3" in text and "TIMEOUT" in text
+        assert series.largest_solved == 0
+
+    def test_render_kv(self):
+        text = render_kv("stats", {"a": 1, "b": 2})
+        assert "stats" in text and "a" in text

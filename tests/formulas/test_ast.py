@@ -1,0 +1,158 @@
+"""Tests for the circuit-formula AST."""
+
+import pytest
+
+from repro.formulas.ast import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+    all_vars,
+    conj,
+    disj,
+    evaluate_closed,
+    free_vars,
+    is_quantifier_free,
+    lit,
+    nnf,
+    rename,
+    substitute,
+)
+
+
+class TestConstruction:
+    def test_operator_sugar(self):
+        x, y = Var(1), Var(2)
+        assert (x & y) == And((x, y))
+        assert (x | y) == Or((x, y))
+        assert ~x == Not(x)
+        assert (x >> y) == Implies(x, y)
+        assert x.iff(y) == Iff(x, y)
+
+    def test_var_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Var(0)
+
+    def test_quantified_var_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Exists([0], TRUE)
+
+    def test_equality_and_hash(self):
+        assert Var(3) == Var(3)
+        assert hash(Var(3)) == hash(Var(3))
+        assert Var(3) != Var(4)
+        assert And((Var(1),)) != Or((Var(1),))
+
+    def test_repr_smoke(self):
+        f = Forall([2], Var(1) | ~Var(2))
+        assert "∀" in repr(f) and "∨" in repr(f)
+
+
+class TestHelpers:
+    def test_conj_folds_constants(self):
+        assert conj([TRUE, Var(1)]) == Var(1)
+        assert conj([FALSE, Var(1)]) == FALSE
+        assert conj([]) == TRUE
+
+    def test_disj_folds_constants(self):
+        assert disj([FALSE, Var(1)]) == Var(1)
+        assert disj([TRUE, Var(1)]) == TRUE
+        assert disj([]) == FALSE
+
+    def test_conj_flattens(self):
+        f = conj([And((Var(1), Var(2))), Var(3)])
+        assert f == And((Var(1), Var(2), Var(3)))
+
+    def test_lit(self):
+        assert lit(3, True) == Var(3)
+        assert lit(3, False) == Not(Var(3))
+
+
+class TestVariables:
+    def test_free_vars(self):
+        f = Exists([1], Var(1) & Var(2))
+        assert free_vars(f) == frozenset({2})
+
+    def test_all_vars(self):
+        f = Exists([1], Var(1) & Var(2))
+        assert all_vars(f) == frozenset({1, 2})
+
+    def test_is_quantifier_free(self):
+        assert is_quantifier_free(Var(1) & ~Var(2))
+        assert not is_quantifier_free(Forall([1], Var(1)))
+
+    def test_rename(self):
+        f = Exists([1], Var(1) & Var(2))
+        g = rename(f, {1: 10, 2: 20})
+        assert g == Exists([10], Var(10) & Var(20))
+
+
+class TestSubstitute:
+    def test_substitute_folds(self):
+        f = (Var(1) & Var(2)) | Var(3)
+        assert substitute(f, {1: True, 2: True}) == TRUE
+        assert substitute(f, {1: False}) == Var(3)
+
+    def test_substitute_respects_binding(self):
+        f = Exists([1], Var(1) & Var(2))
+        g = substitute(f, {1: False, 2: True})
+        assert g == Exists([1], Var(1))
+
+    def test_substitute_iff_xor(self):
+        assert substitute(Iff(Var(1), Var(2)), {1: True, 2: True}) == TRUE
+        assert substitute(Xor(Var(1), Var(2)), {1: True, 2: True}) == FALSE
+
+
+class TestNnf:
+    def test_pushes_negation_through_and(self):
+        f = nnf(~(Var(1) & Var(2)))
+        assert f == Or((Not(Var(1)), Not(Var(2))))
+
+    def test_pushes_negation_through_quantifiers(self):
+        f = nnf(~Forall([1], Var(1)))
+        assert f == Exists((1,), Not(Var(1)))
+        g = nnf(~Exists([1], Var(1)))
+        assert g == Forall((1,), Not(Var(1)))
+
+    def test_expands_implies(self):
+        assert nnf(Var(1) >> Var(2)) == Or((Not(Var(1)), Var(2)))
+
+    def test_expands_iff(self):
+        f = nnf(Iff(Var(1), Var(2)))
+        assert evaluate_closed(f, {1: True, 2: True})
+        assert not evaluate_closed(f, {1: True, 2: False})
+
+    def test_xor_is_negated_iff(self):
+        f = nnf(Xor(Var(1), Var(2)))
+        assert not evaluate_closed(f, {1: True, 2: True})
+        assert evaluate_closed(f, {1: False, 2: True})
+
+    def test_double_negation(self):
+        assert nnf(~~Var(1)) == Var(1)
+
+
+class TestEvaluateClosed:
+    def test_simple_quantified(self):
+        # ∀y ∃x (x ≡ y)
+        f = Forall([1], Exists([2], Iff(Var(2), Var(1))))
+        assert evaluate_closed(f)
+
+    def test_order_matters(self):
+        f = Exists([2], Forall([1], Iff(Var(2), Var(1))))
+        assert not evaluate_closed(f)
+
+    def test_free_vars_from_assignment(self):
+        assert evaluate_closed(Var(1) >> Var(2), {1: False, 2: False})
+
+    def test_nested_shadowing(self):
+        # ∃x (x ∧ ∀x x) — inner ∀x shadows: body is false.
+        f = Exists([1], Var(1) & Forall([1], Var(1)))
+        assert not evaluate_closed(f)

@@ -1,0 +1,154 @@
+"""Tests for the circuit-to-QBF conversion, validated against two oracles."""
+
+import random
+
+import pytest
+
+from repro.core.expansion import evaluate
+from repro.core.literals import EXISTS, FORALL
+from repro.core.solver import solve
+from repro.formulas.ast import (
+    FALSE,
+    TRUE,
+    And,
+    Exists,
+    Forall,
+    Iff,
+    Not,
+    Or,
+    Var,
+    evaluate_closed,
+)
+from repro.formulas.cnf import to_qbf
+
+
+class TestBasics:
+    def test_constant_true(self):
+        phi = to_qbf(TRUE)
+        assert phi.num_clauses == 0
+        assert solve(phi).value
+
+    def test_constant_false(self):
+        phi = to_qbf(FALSE)
+        assert not solve(phi).value
+
+    def test_single_literal(self):
+        phi = to_qbf(Var(1))
+        assert phi.prefix.quant(1) is EXISTS  # free var closed existentially
+        assert solve(phi).value
+
+    def test_simple_conjunction_has_no_aux(self):
+        phi = to_qbf(Var(1) & ~Var(2))
+        assert phi.num_vars == 2
+        assert sorted(c.lits for c in phi.clauses) == [(-2,), (1,)]
+
+    def test_flat_disjunction_has_no_aux(self):
+        phi = to_qbf(Var(1) | ~Var(2))
+        assert phi.num_vars == 2
+        assert phi.clauses[0].lits == (1, -2)
+
+    def test_or_of_ands_introduces_aux(self):
+        f = (Var(1) & Var(2)) | (Var(3) & Var(4))
+        phi = to_qbf(f)
+        assert phi.num_vars > 4
+        assert solve(phi).value
+
+
+class TestQuantifierStructure:
+    def test_conjunction_of_scopes_becomes_tree(self):
+        # ∃x1 (∀y2 (x1∨y2)) ∧ (∀y3 (x1∨¬y3)) — two universal branches.
+        f = Exists(
+            [1],
+            And(
+                (
+                    Forall([2], Var(1) | Var(2)),
+                    Forall([3], Var(1) | ~Var(3)),
+                )
+            ),
+        )
+        phi = to_qbf(f)
+        assert not phi.is_prenex
+        assert not phi.prefix.prec(2, 3) and not phi.prefix.prec(3, 2)
+        assert phi.prefix.prec(1, 2) and phi.prefix.prec(1, 3)
+
+    def test_aux_vars_are_innermost_existential(self):
+        # ∀y ¬(y ∧ x): the aux definition variable must sit below y.
+        f = Forall([2], Not(And((Var(2), Var(1)))))
+        phi = to_qbf(f)
+        aux = [v for v in phi.prefix.variables if v not in (1, 2)]
+        for a in aux:
+            assert phi.prefix.quant(a) is EXISTS
+
+    def test_disjunction_of_quantified_parts_is_prenexed(self):
+        # (∃x1 x1) ∨ (∀y2 y2): semantically true.
+        f = Or((Exists([1], Var(1)), Forall([2], Var(2))))
+        phi = to_qbf(f)
+        assert solve(phi).value == evaluate_closed(f)
+
+    def test_variable_capture_is_avoided(self):
+        # Same variable bound twice in different scopes.
+        f = And((Exists([1], Var(1)), Forall([1], Or((Var(1), Not(Var(1)))))))
+        phi = to_qbf(f)
+        assert solve(phi).value
+
+
+def _random_circuit(rng, vars_pool, depth):
+    if depth == 0 or rng.random() < 0.3:
+        v = rng.choice(vars_pool)
+        return Var(v) if rng.random() < 0.5 else Not(Var(v))
+    kind = rng.randrange(4)
+    if kind == 0:
+        return And(tuple(_random_circuit(rng, vars_pool, depth - 1) for _ in range(2)))
+    if kind == 1:
+        return Or(tuple(_random_circuit(rng, vars_pool, depth - 1) for _ in range(2)))
+    if kind == 2:
+        return Not(_random_circuit(rng, vars_pool, depth - 1))
+    return Iff(
+        _random_circuit(rng, vars_pool, depth - 1),
+        _random_circuit(rng, vars_pool, depth - 1),
+    )
+
+
+def _random_quantified(rng, seed_vars=6, depth=3):
+    pool = list(range(1, seed_vars + 1))
+    body = _random_circuit(rng, pool, depth)
+    rng.shuffle(pool)
+    cut1, cut2 = sorted((rng.randint(0, seed_vars), rng.randint(0, seed_vars)))
+    inner, mid, outer = pool[:cut1], pool[cut1:cut2], pool[cut2:]
+    f = body
+    if inner:
+        f = Exists(inner, f)
+    if mid:
+        f = Forall(mid, f)
+    if outer:
+        f = Exists(outer, f)
+    return f
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_to_qbf_agrees_with_semantic_oracle(seed):
+    """to_qbf + QDPLL must agree with direct AST expansion."""
+    rng = random.Random(seed)
+    f = _random_quantified(rng)
+    expected = evaluate_closed(f)
+    phi = to_qbf(f)
+    assert solve(phi).value == expected
+    if phi.num_vars <= 24:
+        assert evaluate(phi, max_vars=None) == expected
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_to_qbf_tree_structure_formulas(seed):
+    """Conjunctions of independently quantified parts (paper-style shapes)."""
+    rng = random.Random(500 + seed)
+    parts = []
+    base = 1
+    for _ in range(rng.randint(2, 3)):
+        pool = list(range(base, base + 3))
+        base += 3
+        body = _random_circuit(rng, pool, 2)
+        parts.append(Forall([pool[0]], Exists(pool[1:], body)))
+    f = And(tuple(parts))
+    expected = evaluate_closed(f)
+    phi = to_qbf(f)
+    assert solve(phi).value == expected

@@ -1,0 +1,93 @@
+"""Tests for the QDIMACS reader/writer."""
+
+import random
+
+import pytest
+
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.solver import solve
+from repro.generators.random_qbf import random_prenex_qbf
+from repro.io import qdimacs
+from repro.io.qdimacs import QdimacsError
+from repro.prenexing.strategies import prenex
+
+
+SAMPLE = """c a sample instance
+p cnf 4 2
+e 1 2 0
+a 3 0
+e 4 0
+1 -3 4 0
+-1 2 0
+"""
+
+
+class TestLoads:
+    def test_parses_sample(self):
+        phi = qdimacs.loads(SAMPLE)
+        assert phi.is_prenex
+        assert phi.num_clauses == 2
+        assert phi.prefix.quant(3) is FORALL
+        assert phi.prefix.prec(1, 3) and phi.prefix.prec(3, 4)
+
+    def test_free_variables_bound_existentially(self):
+        phi = qdimacs.loads("p cnf 2 1\na 1 0\n1 2 0\n")
+        assert phi.prefix.quant(2) is EXISTS
+        assert phi.prefix.prec(2, 1)
+
+    def test_adjacent_same_quant_lines_merge(self):
+        phi = qdimacs.loads("p cnf 3 1\ne 1 0\ne 2 0\na 3 0\n1 2 3 0\n")
+        assert not phi.prefix.prec(1, 2)
+
+    def test_rejects_double_binding(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p cnf 1 0\ne 1 0\na 1 0\n")
+
+    def test_rejects_quantifier_after_clause(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p cnf 2 1\ne 1 0\n1 0\na 2 0\n")
+
+    def test_rejects_missing_terminator(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p cnf 1 1\ne 1 0\n1\n")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p wcnf 1 1\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("")
+
+
+class TestDumps:
+    def test_rejects_non_prenex(self):
+        with pytest.raises(ValueError):
+            qdimacs.dumps(paper_example())
+
+    def test_includes_comments(self):
+        phi = QBF.prenex([(EXISTS, [1])], [(1,)])
+        text = qdimacs.dumps(phi, comments=["hello"])
+        assert text.startswith("c hello\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        phi = prenex(paper_example(), "eu_au")
+        path = str(tmp_path / "f.qdimacs")
+        qdimacs.dump(phi, path)
+        again = qdimacs.load(path)
+        assert again == phi
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_roundtrip_random(seed):
+    rng = random.Random(seed)
+    phi = random_prenex_qbf(
+        rng,
+        num_blocks=rng.randint(1, 4),
+        block_size=rng.randint(1, 3),
+        num_clauses=rng.randint(1, 12),
+    )
+    again = qdimacs.loads(qdimacs.dumps(phi))
+    assert again == phi
+    assert solve(again).value == solve(phi).value

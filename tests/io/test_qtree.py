@@ -1,0 +1,70 @@
+"""Tests for the QTREE non-prenex format."""
+
+import random
+
+import pytest
+
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.solver import solve
+from repro.generators.random_qbf import random_qbf
+from repro.io import qtree
+from repro.io.qtree import QtreeError
+
+
+class TestRoundtrip:
+    def test_paper_example(self):
+        text = qtree.dumps(paper_example(), comments=["equation (1)"])
+        assert text.startswith("c equation (1)\n")
+        again = qtree.loads(text)
+        assert again == paper_example()
+
+    def test_prenex_also_works(self):
+        phi = QBF.prenex([(EXISTS, [1]), (FORALL, [2])], [(1, 2)])
+        assert qtree.loads(qtree.dumps(phi)) == phi
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "f.qtree")
+        qtree.dump(paper_example(), path)
+        assert qtree.load(path) == paper_example()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_roundtrip(self, seed):
+        rng = random.Random(seed)
+        phi = random_qbf(rng)
+        again = qtree.loads(qtree.dumps(phi))
+        assert again == phi
+        assert solve(again).value == solve(phi).value
+
+
+class TestParsing:
+    def test_forest(self):
+        phi = qtree.loads("p qtree 2 1\nt (e 1) (a 2)\n1 -2 0\n")
+        assert not phi.prefix.prec(1, 2)
+        assert phi.prefix.quant(2) is FORALL
+
+    def test_free_vars_closed(self):
+        phi = qtree.loads("t (a 1)\n1 2 0\n")
+        assert phi.prefix.quant(2) is EXISTS
+        assert phi.prefix.prec(2, 1)
+
+    def test_missing_tree_line_means_all_existential(self):
+        phi = qtree.loads("1 -2 0\n")
+        assert phi.prefix.quant(1) is EXISTS
+        assert phi.prefix.quant(2) is EXISTS
+
+    def test_rejects_two_tree_lines(self):
+        with pytest.raises(QtreeError):
+            qtree.loads("t (e 1)\nt (e 2)\n1 0\n")
+
+    def test_rejects_unbalanced(self):
+        with pytest.raises(QtreeError):
+            qtree.loads("t (e 1 (a 2)\n1 0\n")
+
+    def test_rejects_bad_tag(self):
+        with pytest.raises(QtreeError):
+            qtree.loads("t (x 1)\n1 0\n")
+
+    def test_rejects_bad_clause(self):
+        with pytest.raises(QtreeError):
+            qtree.loads("t (e 1)\n1\n")

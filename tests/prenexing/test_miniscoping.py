@@ -1,0 +1,127 @@
+"""Tests for Section VII-D scope minimization."""
+
+import random
+
+import pytest
+
+from repro.core.expansion import evaluate
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.solver import solve
+from repro.generators.random_qbf import random_prenex_qbf, random_tree_qbf
+from repro.prenexing.miniscoping import miniscope, ordered_pairs, structure_ratio
+from repro.prenexing.strategies import prenex
+
+
+class TestMiniscope:
+    def test_rejects_non_prenex(self):
+        with pytest.raises(ValueError):
+            miniscope(paper_example())
+
+    def test_recovers_tree_from_prenexed_paper_example(self):
+        """Prenexing equation (1) and miniscoping back frees y1/y2 again."""
+        original = paper_example()
+        flat = prenex(original, "eu_au")
+        tree = miniscope(flat)
+        assert not tree.is_prenex
+        # y1 (2) and x3,x4 (6,7) live on different branches again.
+        assert not tree.prefix.prec(2, 6)
+        assert not tree.prefix.prec(5, 3)
+        assert solve(tree).value == solve(flat).value
+
+    def test_unused_variable_dropped(self):
+        phi = QBF.prenex([(EXISTS, [1, 2])], [(1,)])
+        tree = miniscope(phi)
+        assert 2 not in tree.prefix
+
+    def test_existential_single_clause_scope_deleted(self):
+        # ∀y ∃x (x ∨ y): the inner clause is satisfiable by x alone.
+        phi = QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1, 2)])
+        tree = miniscope(phi)
+        assert tree.num_clauses == 0
+        assert solve(tree).value and solve(phi).value
+
+    def test_universal_single_clause_scope_reduced(self):
+        # ∃x ∀y ((x ∨ y) ∧ ¬x): Lemma 3 deletes y from its single clause.
+        phi = QBF.prenex([(EXISTS, [1]), (FORALL, [2])], [(1, 2), (-1,)])
+        tree = miniscope(phi)
+        assert sorted(c.lits for c in tree.clauses) == [(-1,), (1,)]
+        assert 2 not in tree.prefix
+        assert not solve(tree).value
+
+    def test_cascading_simplification_solves_outright(self):
+        # ∃x ∀y (x ∨ y): y is reduced away, then the single clause (x) is
+        # satisfiable by x alone — the whole matrix disappears.
+        phi = QBF.prenex([(EXISTS, [1]), (FORALL, [2])], [(1, 2)])
+        tree = miniscope(phi)
+        assert tree.num_clauses == 0
+        assert solve(tree).value and solve(phi).value
+
+    def test_disjoint_blocks_split(self):
+        # ∃x1 x2 ∀y3 y4 ∃x5 x6 with two independent halves.
+        phi = QBF.prenex(
+            [(EXISTS, [1, 2]), (FORALL, [3, 4]), (EXISTS, [5, 6])],
+            [(1, 3, 5), (-1, 3, -5), (2, 4, 6), (-2, -4, 6), (1, -3, 5), (2, -4, -6)],
+        )
+        tree = miniscope(phi)
+        assert not tree.prefix.prec(3, 6)
+        assert not tree.prefix.prec(4, 5)
+        assert tree.prefix.prec(3, 5)
+        assert tree.prefix.prec(4, 6)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_value_preserved_on_random_prenex(self, seed):
+        rng = random.Random(seed)
+        phi = random_prenex_qbf(
+            rng,
+            num_blocks=rng.randint(2, 4),
+            block_size=rng.randint(1, 3),
+            num_clauses=rng.randint(4, 14),
+            clause_len=rng.randint(2, 3),
+        )
+        tree = miniscope(phi)
+        assert solve(tree).value == solve(phi).value
+        if phi.num_vars <= 20:
+            assert evaluate(phi, max_vars=None) == solve(tree).value
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_roundtrip_through_prenexing(self, seed):
+        """tree → prenex → miniscope preserves the value throughout."""
+        rng = random.Random(400 + seed)
+        phi = random_tree_qbf(rng, depth=3, branching=2, block_size=1)
+        flat = prenex(phi, "eu_au")
+        back = miniscope(flat)
+        assert solve(phi).value == solve(back).value
+
+    def test_never_duplicates_variables(self):
+        """Rule (20) must not be applied: no variable count increase."""
+        rng = random.Random(99)
+        for _ in range(10):
+            phi = random_prenex_qbf(rng, num_blocks=3, block_size=3, num_clauses=12)
+            tree = miniscope(phi)
+            assert tree.num_vars <= phi.num_vars
+
+
+class TestStructureRatio:
+    def test_zero_when_nothing_freed(self):
+        phi = QBF.prenex(
+            [(EXISTS, [1]), (FORALL, [2]), (EXISTS, [3])],
+            [(1, 2, 3), (-1, -2, -3)],
+        )
+        tree = miniscope(phi)
+        assert structure_ratio(phi, tree) == 0.0
+
+    def test_positive_when_branches_split(self):
+        phi = prenex(paper_example(), "eu_au")
+        tree = miniscope(phi)
+        ratio = structure_ratio(phi, tree)
+        assert ratio > 0.2  # the paper's inclusion threshold
+
+    def test_ordered_pairs_counts_both_directions(self):
+        phi = QBF.prenex([(FORALL, [1]), (EXISTS, [2])], [(1, 2)])
+        assert ordered_pairs(phi.prefix) == {(2, 1)}
+
+    def test_counts_dropped_variables_as_freed(self):
+        phi = QBF.prenex([(EXISTS, [1]), (FORALL, [2])], [(1, 2)])
+        tree = miniscope(phi)  # y is reduced away entirely
+        assert structure_ratio(phi, tree) == 1.0

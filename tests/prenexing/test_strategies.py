@@ -1,0 +1,124 @@
+"""Tests for the four prenexing strategies."""
+
+import random
+
+import pytest
+
+from repro.core.expansion import evaluate
+from repro.core.formula import QBF, paper_example
+from repro.core.literals import EXISTS, FORALL
+from repro.core.solver import solve
+from repro.generators.random_qbf import random_tree_qbf
+from repro.prenexing.strategies import STRATEGIES, prenex, prenex_all, strategy_symbol
+
+
+class TestPaperExample:
+    """Equation (7): the prenex-optimal prefix of equation (1)."""
+
+    def test_eu_au_matches_equation_7(self):
+        phi = prenex(paper_example(), "eu_au")
+        assert phi.is_prenex
+        blocks = phi.prefix.linear_blocks()
+        # x0 ≺ y1,y2 ≺ x1,x2,x3,x4  (vars 1 | 2,5 | 3,4,6,7)
+        assert [(q, set(vs)) for q, vs in blocks] == [
+            (EXISTS, {1}),
+            (FORALL, {2, 5}),
+            (EXISTS, {3, 4, 6, 7}),
+        ]
+
+    def test_prefix_level_is_preserved(self):
+        original = paper_example()
+        for name in STRATEGIES:
+            phi = prenex(original, name)
+            assert phi.prefix.prefix_level == original.prefix.prefix_level, name
+
+    def test_matrix_unchanged(self):
+        original = paper_example()
+        for name in STRATEGIES:
+            phi = prenex(original, name)
+            assert sorted(c.lits for c in phi.clauses) == sorted(
+                c.lits for c in original.clauses
+            )
+
+    def test_value_preserved(self):
+        for name in STRATEGIES:
+            assert not solve(prenex(paper_example(), name)).value
+
+
+class TestStrategyMechanics:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            prenex(paper_example(), "sideways")
+
+    def test_prenex_input_returned_unchanged(self):
+        phi = QBF.prenex([(EXISTS, [1]), (FORALL, [2])], [(1, 2)])
+        assert prenex(phi, "eu_au") is phi
+
+    def test_symbols(self):
+        assert strategy_symbol("eu_au") == "∃↑∀↑"
+        assert strategy_symbol("ed_ad") == "∃↓∀↓"
+
+    def test_prenex_all_has_four_entries(self):
+        out = prenex_all(paper_example())
+        assert set(out) == set(STRATEGIES)
+
+    def test_strategies_can_differ(self):
+        # ∃x ( ∀y1 ∃x1 (…) ∧ ∃x2 (…) ) — x2 placement differs up vs down.
+        phi = QBF.tree(
+            [
+                (
+                    EXISTS,
+                    (1,),
+                    (
+                        (FORALL, (2,), ((EXISTS, (3,), ()),)),
+                        (EXISTS, (4,), ()),
+                    ),
+                )
+            ],
+            [(1, 2, 3), (1, 4)],
+        )
+        up = prenex(phi, "eu_au").prefix.linear_blocks()
+        down = prenex(phi, "ed_ad").prefix.linear_blocks()
+        up_slot = next(i for i, (_, vs) in enumerate(up) if 4 in vs)
+        down_slot = next(i for i, (_, vs) in enumerate(down) if 4 in vs)
+        assert up_slot < down_slot
+
+
+def _assert_extends_order(original, prenexed):
+    po = original.prefix
+    to = prenexed.prefix
+    for a in po.variables:
+        for b in po.variables:
+            if a != b and po.prec(a, b):
+                assert to.prec(a, b), (a, b)
+
+
+@pytest.mark.parametrize("name", STRATEGIES)
+@pytest.mark.parametrize("seed", range(12))
+def test_strategies_extend_order_and_preserve_value(name, seed):
+    rng = random.Random(seed * 7 + 3)
+    phi = random_tree_qbf(
+        rng,
+        depth=rng.randint(2, 4),
+        branching=2,
+        block_size=rng.randint(1, 2),
+        clauses_per_scope=2,
+        root_quant=rng.choice([EXISTS, FORALL]),
+    )
+    psi = prenex(phi, name)
+    assert psi.is_prenex
+    _assert_extends_order(phi, psi)
+    # Prenex-optimality: at most one extra alternation level; exactly the
+    # original level when the top blocks match the pattern start.
+    assert psi.prefix.prefix_level <= phi.prefix.prefix_level + 1
+    if phi.num_vars <= 20:
+        assert evaluate(phi, max_vars=None) == evaluate(psi, max_vars=None)
+    assert solve(phi).value == solve(psi).value
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_prenex_optimal_when_tops_match(seed):
+    rng = random.Random(9000 + seed)
+    phi = random_tree_qbf(rng, depth=3, branching=2, block_size=1, root_quant=EXISTS)
+    psi = prenex(phi, "eu_au")
+    assert psi.prefix.prefix_level == phi.prefix.prefix_level

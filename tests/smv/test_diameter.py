@@ -1,0 +1,120 @@
+"""End-to-end tests: diameter via QBF == diameter via explicit BFS."""
+
+import pytest
+
+from repro.core.solver import SolverConfig, solve
+from repro.prenexing.miniscoping import structure_ratio
+from repro.prenexing.strategies import prenex
+from repro.smv.diameter import compute_diameter, diameter_formula, diameter_qbf, t_prime
+from repro.smv.models import CounterModel, DmeModel, RingModel, SemaphoreModel
+from repro.smv.reachability import eccentricity
+from repro.formulas.ast import evaluate_closed
+
+
+class TestEncodingShape:
+    def test_tree_form_is_non_prenex(self):
+        phi = diameter_qbf(CounterModel(2), 1, form="tree")
+        assert not phi.is_prenex
+
+    def test_prenex_form_is_prenex(self):
+        phi = diameter_qbf(CounterModel(2), 1, form="prenex")
+        assert phi.is_prenex
+
+    def test_same_matrix_size_both_forms(self):
+        tree = diameter_qbf(CounterModel(2), 1, form="tree")
+        flat = diameter_qbf(CounterModel(2), 1, form="prenex")
+        assert tree.num_clauses == flat.num_clauses
+
+    def test_bad_form_rejected(self):
+        with pytest.raises(ValueError):
+            diameter_qbf(CounterModel(2), 1, form="sideways")
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            diameter_formula(CounterModel(2), -1)
+
+    def test_tree_form_frees_x_y_pairs(self):
+        """The x-path existentials and y universals are incomparable in the
+        tree but ordered in (16) — the structural property Section VII-C
+        credits for the speedups."""
+        tree = diameter_qbf(CounterModel(2), 1, form="tree")
+        flat = diameter_qbf(CounterModel(2), 1, form="prenex")
+        assert structure_ratio(flat, tree) > 0.2
+
+
+class TestPhiSemantics:
+    """φ_n true ⇔ n < d (equation (14)'s distinctive property)."""
+
+    @pytest.mark.parametrize("model", [CounterModel(2), DmeModel(3), RingModel(2)])
+    def test_phi_truth_table_via_solver(self, model):
+        d = eccentricity(model)
+        for n in range(d + 2):
+            expected = n < d
+            assert solve(diameter_qbf(model, n, "tree")).value == expected, n
+            assert solve(diameter_qbf(model, n, "prenex")).value == expected, n
+
+    def test_phi_truth_table_via_ast_oracle_tiny(self):
+        """Independent check on the smallest instance the exponential AST
+        oracle can afford (counter<1>, d = 1)."""
+        model = CounterModel(1)
+        d = eccentricity(model)
+        assert d == 1
+        for n in range(3):
+            expected = n < d
+            assert evaluate_closed(diameter_formula(model, n, "tree")) == expected
+            assert evaluate_closed(diameter_formula(model, n, "prenex")) == expected
+
+    def test_t_prime_adds_initial_self_loop(self):
+        model = CounterModel(2)
+        s = [1, 2]
+        t = [3, 4]
+        f = t_prime(model, s, t)
+        env = {1: False, 2: False, 3: False, 4: False}  # init -> init self loop
+        assert evaluate_closed(f, env)
+        env = {1: True, 2: False, 3: True, 4: False}  # non-init self loop: no
+        assert not evaluate_closed(f, env)
+
+
+class TestComputeDiameter:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_counter_diameter_matches_bfs(self, n):
+        model = CounterModel(n)
+        run = compute_diameter(model, form="tree")
+        assert run.diameter == eccentricity(model)
+
+    def test_prenex_form_agrees(self):
+        model = CounterModel(2)
+        tree_run = compute_diameter(model, form="tree")
+        prenex_run = compute_diameter(model, form="prenex")
+        assert tree_run.diameter == prenex_run.diameter == 3
+
+    def test_dme_diameter(self):
+        model = DmeModel(3)
+        assert compute_diameter(model, form="tree").diameter == 2
+
+    def test_semaphore_diameter(self):
+        model = SemaphoreModel(2)
+        run = compute_diameter(model, form="tree")
+        assert run.diameter == eccentricity(model)
+
+    def test_ring_diameter(self):
+        model = RingModel(2)
+        run = compute_diameter(model, form="tree")
+        assert run.diameter == eccentricity(model)
+
+    def test_budget_abort_reports_timeout(self):
+        run = compute_diameter(
+            CounterModel(2),
+            form="tree",
+            config=SolverConfig(max_decisions=1),
+        )
+        assert run.timed_out
+        assert run.diameter is None
+
+    def test_solving_via_explicit_strategies_matches(self):
+        """Prenexing the tree form with ∃↑∀↑ is equivalent to (16)."""
+        model = CounterModel(2)
+        for n in (0, 2, 3):
+            tree = diameter_qbf(model, n, form="tree")
+            flat = prenex(tree, "eu_au")
+            assert solve(flat).value == solve(tree).value

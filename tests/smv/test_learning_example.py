@@ -1,0 +1,95 @@
+"""The Section VII-C worked example: goods under prefixes (18) vs (19).
+
+The paper computes, for the 2-bit circuit with I = ¬s1∧¬s2 and
+T = ¬(¬s1∧¬s2∧s'1∧s'2) at n = 1, the learned goods {y0_1} (tree prefix
+(18)) versus {x0_1, x0_2, x1_1, x1_2, y0_1} (total order (19)). These tests
+verify the reduction asymmetry both on the paper's literal prefixes and on
+the library's own encoding of that circuit.
+"""
+
+from typing import Sequence
+
+import pytest
+
+from repro.core.constraints import existential_reduce
+from repro.core.literals import EXISTS, FORALL
+from repro.core.prefix import Prefix
+from repro.core.solver import QdpllSolver, SolverConfig
+from repro.formulas.ast import And, Formula, Not, Var, conj
+from repro.smv.diameter import compute_diameter, diameter_qbf
+from repro.smv.model import SymbolicModel
+from repro.smv.reachability import eccentricity
+
+
+def prefix_18() -> Prefix:
+    """x2_1, x2_2 ≺ y0..y1 ≺ x, with x0/x1 unordered (equation (18))."""
+    return Prefix.tree(
+        [
+            (EXISTS, (5, 6), ((FORALL, (7, 8, 9, 10), ((EXISTS, (11,), ()),)),)),
+            (EXISTS, (1, 2, 3, 4), ()),
+        ]
+    )
+
+
+def prefix_19() -> Prefix:
+    """x0..x2 ≺ y0..y1 ≺ x (equation (19))."""
+    return Prefix.linear(
+        [(EXISTS, (1, 2, 3, 4, 5, 6)), (FORALL, (7, 8, 9, 10)), (EXISTS, (11,))]
+    )
+
+
+GOOD = (1, 2, 3, 4, 7)  # {x0_1, x0_2, x1_1, x1_2, y0_1}
+
+
+def test_good_reduces_to_y_under_tree():
+    assert existential_reduce(GOOD, prefix_18()) == (7,)
+
+
+def test_good_keeps_everything_under_total_order():
+    assert existential_reduce(GOOD, prefix_19()) == GOOD
+
+
+def test_spo_subset_sto():
+    """The paper's conclusion: S_po ⊆ S_to, hence more pruning."""
+    spo = set(existential_reduce(GOOD, prefix_18()))
+    sto = set(existential_reduce(GOOD, prefix_19()))
+    assert spo < sto
+
+
+class PaperTwoBitModel(SymbolicModel):
+    """The Section VII-C circuit: I = ¬s1∧¬s2, T = ¬(¬s1∧¬s2∧s'1∧s'2)."""
+
+    num_bits = 2
+    name = "vii-c"
+
+    def init(self, s: Sequence[int]) -> Formula:
+        return conj((Not(Var(s[0])), Not(Var(s[1]))))
+
+    def trans(self, s: Sequence[int], t: Sequence[int]) -> Formula:
+        return Not(And((Not(Var(s[0])), Not(Var(s[1])), Var(t[0]), Var(t[1]))))
+
+
+def test_paper_circuit_diameter_is_2():
+    assert eccentricity(PaperTwoBitModel()) == 2
+
+
+def test_paper_circuit_qbf_pipeline():
+    run = compute_diameter(PaperTwoBitModel(), form="tree")
+    assert run.diameter == 2
+    run = compute_diameter(PaperTwoBitModel(), form="prenex")
+    assert run.diameter == 2
+
+
+def test_learned_goods_shorter_under_tree_on_paper_circuit():
+    """End-to-end: the engine's learned cubes average shorter in PO."""
+    model = PaperTwoBitModel()
+    tree = diameter_qbf(model, 1, "tree")
+    flat = diameter_qbf(model, 1, "prenex")
+    po = QdpllSolver(tree, SolverConfig())
+    po.solve()
+    to = QdpllSolver(flat, SolverConfig())
+    to.solve()
+    if po.stats.learned_cubes and to.stats.learned_cubes:
+        po_avg = po.stats.learned_cube_lits / po.stats.learned_cubes
+        to_avg = to.stats.learned_cube_lits / to.stats.learned_cubes
+        assert po_avg <= to_avg

@@ -1,0 +1,110 @@
+"""Tests for the model families against explicit-state ground truth."""
+
+import pytest
+
+from repro.smv.models import (
+    CounterModel,
+    DmeModel,
+    RingModel,
+    SemaphoreModel,
+    model_by_name,
+)
+from repro.smv.reachability import (
+    distances,
+    eccentricity,
+    initial_states,
+    num_reachable,
+    successor_map,
+)
+
+
+class TestCounter:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_eccentricity_is_2n_minus_1(self, n):
+        assert eccentricity(CounterModel(n)) == 2**n - 1
+
+    def test_all_states_reachable(self):
+        assert num_reachable(CounterModel(3)) == 8
+
+    def test_single_initial_state(self):
+        inits = initial_states(CounterModel(3))
+        assert inits == [(False, False, False)]
+
+    def test_deterministic_increment(self):
+        adj = successor_map(CounterModel(2))
+        # 00 -> 10 (bit0 is LSB), 10 -> 01, 01 -> 11, 11 -> 00
+        assert adj[(False, False)] == [(True, False)]
+        assert adj[(True, False)] == [(False, True)]
+        assert adj[(True, True)] == [(False, False)]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            CounterModel(0)
+
+
+class TestRing:
+    def test_one_gate_updates_per_step(self):
+        adj = successor_map(RingModel(3))
+        for s, succs in adj.items():
+            for t in succs:
+                flipped = sum(1 for a, b in zip(s, t) if a != b)
+                assert flipped <= 1
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_eccentricity_positive_and_bounded(self, n):
+        ecc = eccentricity(RingModel(n))
+        assert 1 <= ecc <= 2**n
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            RingModel(1)
+
+
+class TestDme:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_eccentricity_grows_linearly(self, n):
+        assert eccentricity(DmeModel(n)) == n - 1
+
+    def test_one_hot_invariant(self):
+        dist = distances(DmeModel(4))
+        for state in dist:
+            assert sum(state) == 1
+
+    def test_token_holds_or_passes(self):
+        adj = successor_map(DmeModel(3))
+        token0 = (True, False, False)
+        assert sorted(adj[token0]) == sorted([token0, (False, True, False)])
+
+
+class TestSemaphore:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_constant_eccentricity(self, n):
+        """The defining property of the family: diameter does not grow."""
+        assert eccentricity(SemaphoreModel(n)) == eccentricity(SemaphoreModel(1)) or n == 1
+
+    def test_eccentricity_value_stable_across_sizes(self):
+        values = {n: eccentricity(SemaphoreModel(n)) for n in (1, 2, 3)}
+        assert values[2] == values[3]
+
+    def test_mutual_exclusion_invariant(self):
+        dist = distances(SemaphoreModel(3))
+        for state in dist:
+            criticals = sum(1 for i in range(3) if state[2 * i + 1])
+            assert criticals <= 1
+
+    def test_critical_implies_trying(self):
+        dist = distances(SemaphoreModel(2))
+        for state in dist:
+            for i in range(2):
+                if state[2 * i + 1]:
+                    assert state[2 * i]
+
+
+class TestFactory:
+    def test_model_by_name(self):
+        assert model_by_name("counter", 3).name == "counter3"
+        assert model_by_name("semaphore", 2).num_bits == 4
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            model_by_name("toaster", 2)

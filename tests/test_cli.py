@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.formula import paper_example
+from repro.io import qdimacs, qtree
+from repro.prenexing.strategies import prenex
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    path = str(tmp_path / "eq1.qtree")
+    qtree.dump(paper_example(), path)
+    return path
+
+
+@pytest.fixture
+def prenex_file(tmp_path):
+    path = str(tmp_path / "eq1.qdimacs")
+    qdimacs.dump(prenex(paper_example(), "eu_au"), path)
+    return path
+
+
+class TestSolve:
+    def test_solve_tree_false_exit_code(self, tree_file, capsys):
+        assert main(["solve", tree_file]) == 20
+        out = capsys.readouterr().out
+        assert "FALSE" in out
+        assert "decisions" in out
+
+    def test_solve_qdimacs(self, prenex_file):
+        assert main(["solve", prenex_file]) == 20
+
+    def test_solve_with_to_pipeline(self, tree_file):
+        assert main(["solve", tree_file, "--to", "--strategy", "ed_ad"]) == 20
+
+    def test_solve_unknown_on_zero_budget(self, tree_file):
+        assert main(["solve", tree_file, "--max-decisions", "0"]) == 2
+
+    def test_solve_true_instance(self, tmp_path):
+        path = str(tmp_path / "t.qtree")
+        with open(path, "w") as f:
+            f.write("t (a 1 (e 2))\n1 2 0\n-1 -2 0\n")
+        assert main(["solve", path]) == 10
+
+    def test_feature_flags(self, tree_file):
+        assert main(["solve", tree_file, "--no-learning", "--no-pure",
+                     "--policy", "naive"]) == 20
+
+
+class TestTransforms:
+    def test_prenex_writes_qdimacs(self, tree_file, tmp_path):
+        out = str(tmp_path / "flat.qdimacs")
+        assert main(["prenex", tree_file, "-o", out]) == 0
+        assert qdimacs.load(out).is_prenex
+
+    def test_miniscope_recovers_tree(self, prenex_file, tmp_path, capsys):
+        out = str(tmp_path / "tree.qtree")
+        assert main(["miniscope", prenex_file, "-o", out]) == 0
+        assert not qtree.load(out).is_prenex
+        assert "structure ratio" in capsys.readouterr().err
+
+    def test_prenex_to_stdout(self, tree_file, capsys):
+        assert main(["prenex", tree_file]) == 0
+        assert "p qtree" in capsys.readouterr().out
+
+
+class TestGenerateAndStats:
+    def test_generate_ncf(self, tmp_path):
+        out = str(tmp_path / "g.qtree")
+        assert main(["generate", "ncf", "--dep", "3", "--var", "2",
+                     "--cls", "4", "--lpc", "3", "--seed", "7", "-o", out]) == 0
+        phi = qtree.load(out)
+        assert not phi.is_prenex
+
+    def test_generate_fpv(self, tmp_path):
+        out = str(tmp_path / "g.qtree")
+        assert main(["generate", "fpv", "-o", out]) == 0
+        assert qtree.load(out).num_clauses > 0
+
+    def test_stats(self, tree_file, capsys):
+        assert main(["stats", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "variables     7" in out
+        assert "prenex        no" in out
+        assert "prefix level  3" in out

@@ -1,0 +1,35 @@
+"""Smoke tests keeping the example scripts runnable."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, capsys):
+    path = os.path.join(EXAMPLES, name)
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Outcome.TRUE" in out
+    assert "QTREE serialization" in out
+
+
+def test_paper_example(capsys):
+    out = run_example("paper_example.py", capsys)
+    assert "d=1 f=5" in out  # x0's stamps
+    assert "branches=8" in out  # the optimal Figure 2 tree
+    assert "['y0_1']" in out  # the Section VII-C good under the tree
+
+
+@pytest.mark.slow
+def test_prenexing_study(capsys):
+    out = run_example("prenexing_study.py", capsys)
+    assert "QUBE(PO) vs QUBE(TO)" in out
+    assert "Scope minimization" in out
