@@ -22,29 +22,43 @@ from common import (
     FPV_COUNT,
     NCF_BUDGET,
     NCF_INSTANCES_PER_SETTING,
+    suite_run_options,
 )
 from repro.evalx.suites import run_dia, run_eval06, run_fpv, run_ncf
+
+# The suites run through the fault-isolated batch harness: REPRO_JOBS>1
+# parallelizes the sweep, REPRO_RESULTS_DIR makes it resumable (see
+# common.py for the knobs). With the defaults this is exactly the legacy
+# serial in-process execution.
 
 
 @pytest.fixture(scope="session")
 def ncf_results():
-    return run_ncf(budget=NCF_BUDGET, instances=NCF_INSTANCES_PER_SETTING)
+    return run_ncf(
+        budget=NCF_BUDGET,
+        instances=NCF_INSTANCES_PER_SETTING,
+        **suite_run_options("ncf")
+    )
 
 
 @pytest.fixture(scope="session")
 def fpv_results():
-    return run_fpv(budget=FPV_BUDGET, count=FPV_COUNT)
+    return run_fpv(budget=FPV_BUDGET, count=FPV_COUNT, **suite_run_options("fpv"))
 
 
 @pytest.fixture(scope="session")
 def dia_results():
-    return run_dia(budget=DIA_BUDGET, max_n_cap=DIA_MAX_N)
+    return run_dia(budget=DIA_BUDGET, max_n_cap=DIA_MAX_N, **suite_run_options("dia"))
 
 
 @pytest.fixture(scope="session")
 def eval06_results():
-    prob, prob_filtered = run_eval06("prob", budget=EVAL06_BUDGET, count=EVAL06_COUNT)
-    fixed, fixed_filtered = run_eval06("fixed", budget=EVAL06_BUDGET, count=EVAL06_COUNT)
+    prob, prob_filtered = run_eval06(
+        "prob", budget=EVAL06_BUDGET, count=EVAL06_COUNT, **suite_run_options("prob")
+    )
+    fixed, fixed_filtered = run_eval06(
+        "fixed", budget=EVAL06_BUDGET, count=EVAL06_COUNT, **suite_run_options("fixed")
+    )
     return {
         "prob": prob,
         "prob_filtered": prob_filtered,

@@ -8,6 +8,13 @@ Usage examples::
     python -m repro.cli miniscope flat.qdimacs -o tree.qtree
     python -m repro.cli generate ncf --dep 6 --var 4 --cls 12 --lpc 5 -o x.qtree
     python -m repro.cli stats instance.qtree
+    python -m repro.cli evalx run ncf --jobs 4 --results ncf.jsonl
+
+``evalx run`` drives a whole TO-vs-PO suite sweep through the
+fault-isolated parallel harness: ``--jobs N`` fans runs out over worker
+processes (with hard per-run ``--wall-timeout`` kills and crash isolation),
+``--results out.jsonl`` persists every measurement and makes an interrupted
+sweep resumable (recorded runs are skipped on the next invocation).
 
 Formats are picked by extension: ``.qdimacs``/``.cnf`` (prenex) or
 ``.qtree`` (tree prefixes). ``-`` reads from stdin in QTREE format.
@@ -103,6 +110,77 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_evalx_run(args: argparse.Namespace) -> int:
+    """Run one Section-VII suite through the parallel batch harness."""
+    from repro.evalx.runner import Budget
+    from repro.evalx.report import render_scatter
+    from repro.evalx.scatter import pair_points
+    from repro.evalx.suites import run_dia, run_eval06, run_fpv, run_ncf
+    from repro.evalx.table1 import build_row, render_table
+
+    budget = Budget(decisions=args.decisions, seconds=args.seconds)
+    common = dict(
+        budget=budget,
+        jobs=args.jobs,
+        results_path=args.results,
+        wall_timeout=args.wall_timeout,
+    )
+    filtered_out = None
+    if args.suite == "ncf":
+        results = run_ncf(instances=args.instances, **common)
+        strategies = sorted({s for r in results for s in r.to_runs})
+        rows = [
+            build_row(
+                "NCF",
+                s,
+                [(r.to_run(s), r.po_run) for r in results],
+                tie_margin=args.tie_margin,
+            )
+            for s in strategies
+        ]
+    elif args.suite == "fpv":
+        results = run_fpv(count=args.instances, **common)
+        rows = [
+            build_row(
+                "FPV",
+                "eu_au",
+                [(r.to_run("eu_au"), r.po_run) for r in results],
+                tie_margin=args.tie_margin,
+            )
+        ]
+    elif args.suite == "dia":
+        results = run_dia(**common)
+        rows = [
+            build_row(
+                "DIA",
+                "eq16",
+                [(r.to_best, r.po_run) for r in results],
+                tie_margin=args.tie_margin,
+            )
+        ]
+    else:  # prob / fixed
+        results, filtered_out = run_eval06(args.suite, count=args.instances, **common)
+        rows = [
+            build_row(
+                args.suite.upper(),
+                "eu_au",
+                [(r.to_run("eu_au"), r.po_run) for r in results],
+                tie_margin=args.tie_margin,
+            )
+        ]
+    print(render_table(rows))
+    if filtered_out is not None:
+        print("structure filter dropped %d instance(s)" % filtered_out)
+    if args.scatter:
+        triples = [(r.instance, r.to_best, r.po_run) for r in results]
+        print()
+        print(render_scatter(pair_points(triples), title="QUBE(TO) (y) vs QUBE(PO) (x)"))
+    if args.results:
+        print("measurements recorded in %s (rerun with the same path to resume)"
+              % args.results)
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     phi = _read(args.input)
     prefix = phi.prefix
@@ -155,6 +233,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="describe an instance")
     p_stats.add_argument("input")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_evalx = sub.add_parser(
+        "evalx", help="batch TO-vs-PO experiment harness (parallel, resumable)"
+    )
+    evalx_sub = p_evalx.add_subparsers(dest="evalx_command", required=True)
+    p_run = evalx_sub.add_parser("run", help="run one Section-VII suite sweep")
+    p_run.add_argument("suite", choices=("ncf", "fpv", "dia", "prob", "fixed"))
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial in-process, the legacy path)",
+    )
+    p_run.add_argument(
+        "--results", default=None, metavar="OUT.JSONL",
+        help="append every measurement to this JSONL file; rerunning with "
+        "the same file resumes by skipping recorded runs",
+    )
+    p_run.add_argument(
+        "--wall-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard per-run cap enforced by killing the worker (jobs > 1)",
+    )
+    p_run.add_argument(
+        "--decisions", type=int, default=4000,
+        help="per-run decision budget (the reproduction's timeout analogue)",
+    )
+    p_run.add_argument(
+        "--seconds", type=float, default=None,
+        help="cooperative per-run wall cap; off by default so decision "
+        "metrics stay machine-independent",
+    )
+    p_run.add_argument("--instances", type=int, default=8,
+                       help="instances per setting (ncf) or instance count")
+    p_run.add_argument("--tie-margin", type=int, default=50)
+    p_run.add_argument("--scatter", action="store_true",
+                       help="also render the ASCII scatter of the sweep")
+    p_run.set_defaults(func=cmd_evalx_run)
 
     return parser
 

@@ -223,6 +223,15 @@ class QdpllSolver:
             v = var_of(lit)
             self._value[v] = 0
             self._reason[v] = None
+            # A variable that becomes unassigned may be pure in the restored
+            # state (its candidacy was consumed further down this branch,
+            # possibly while it was assigned and hence skipped by
+            # _apply_pure_literals). Purity only has to be re-examined for
+            # exactly these variables: for a variable that stayed unassigned
+            # through the dive, failing the purity test deeper implies
+            # failing it in every ancestor state, since unassigning can only
+            # add unsatisfied occurrences and revive learned cubes.
+            self._pure_candidates.add(v)
             for rec in self._clause_occ[lit]:
                 rec.n_true -= 1
                 if rec.n_true == 0:

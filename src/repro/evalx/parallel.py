@@ -1,0 +1,586 @@
+"""Fault-isolated multiprocess batch runner for TO-vs-PO sweeps.
+
+The paper's Section VII experiments are embarrassingly parallel: hundreds of
+independent QUBE(TO)/QUBE(PO) runs per suite. This module fans those runs
+out over a ``multiprocessing`` worker pool with the three properties a
+trustworthy batch harness needs:
+
+* **hard wall-clock timeouts** — a run that exceeds ``wall_timeout`` is
+  killed by terminating its worker process, not merely asked to stop via the
+  solver's cooperative ``max_seconds`` check (which a pathological
+  propagation loop may never reach);
+* **crash isolation** — a worker that dies (OOM kill, ``RecursionError``, a
+  solver bug) produces a structured failure :class:`Record` for that one
+  instance, with a bounded number of retries, instead of aborting the sweep;
+* **resumable JSONL persistence** — every completed run is appended to a
+  results file as one JSON line carrying the :class:`Measurement`, the full
+  :class:`SolverStats` and a config fingerprint; re-running the same sweep
+  against the same file skips every (instance, solver, config) key already
+  recorded, so an interrupted sweep continues where it left off.
+
+``jobs=1`` is the serial degenerate case: tasks run in-process, in order,
+with no worker processes involved, so existing single-process results stay
+bit-for-bit reproducible (crashes are still captured as failure records).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, IO, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.formula import QBF
+from repro.core.result import Outcome, SolverStats
+from repro.core.solver import SolverConfig
+from repro.evalx.runner import (
+    Budget,
+    Measurement,
+    SolverDisagreement,
+    solve_po,
+    solve_to,
+)
+
+#: record statuses, in the JSONL ``status`` field.
+STATUS_OK = "ok"
+STATUS_CRASH = "crash"
+STATUS_HARD_TIMEOUT = "hard-timeout"
+STATUS_DISAGREEMENT = "disagreement"
+
+
+# -- serialization ------------------------------------------------------------
+#
+# Hand-rolled (rather than pickle) so the JSONL results are stable,
+# greppable, diffable artefacts that other tooling can consume.
+
+
+def stats_to_dict(stats: SolverStats) -> Dict[str, int]:
+    return {f.name: getattr(stats, f.name) for f in fields(SolverStats)}
+
+
+def stats_from_dict(data: Dict[str, int]) -> SolverStats:
+    known = {f.name for f in fields(SolverStats)}
+    return SolverStats(**{k: v for k, v in data.items() if k in known})
+
+
+def config_to_dict(config: SolverConfig) -> Dict[str, object]:
+    return {f.name: getattr(config, f.name) for f in fields(SolverConfig)}
+
+
+def config_from_dict(data: Dict[str, object]) -> SolverConfig:
+    known = {f.name for f in fields(SolverConfig)}
+    return SolverConfig(**{k: v for k, v in data.items() if k in known})
+
+
+def measurement_to_dict(m: Measurement) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "instance": m.instance,
+        "solver": m.solver,
+        "outcome": m.outcome.value,
+        "decisions": m.decisions,
+        "seconds": m.seconds,
+        "learned_clauses": m.learned_clauses,
+        "learned_cubes": m.learned_cubes,
+    }
+    if m.stats is not None:
+        out["stats"] = stats_to_dict(m.stats)
+    return out
+
+
+def measurement_from_dict(data: Dict[str, object]) -> Measurement:
+    stats = data.get("stats")
+    return Measurement(
+        instance=data["instance"],
+        solver=data["solver"],
+        outcome=Outcome(data["outcome"]),
+        decisions=data["decisions"],
+        seconds=data["seconds"],
+        learned_clauses=data.get("learned_clauses", 0),
+        learned_cubes=data.get("learned_cubes", 0),
+        stats=stats_from_dict(stats) if stats is not None else None,
+    )
+
+
+# -- tasks and records --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Task:
+    """One solver run to schedule: which formula, which pipeline, which label.
+
+    ``solver`` is the label recorded on the resulting measurement (e.g.
+    ``"PO"``, ``"TO(eu_au)"``, or DIA's ``"TO(eq16)"`` where the prenex
+    form is built by the encoder and solved directly). ``mode`` selects the
+    pipeline: ``"po"`` solves ``formula`` as-is, ``"to"`` prenexes with
+    ``strategy`` first. ``overrides`` are extra :class:`SolverConfig` fields
+    as a sorted tuple of pairs (kept hashable so tasks can key dicts).
+    """
+
+    instance: str
+    solver: str
+    formula: QBF
+    mode: str = "po"  # "po" | "to"
+    strategy: str = "eu_au"
+    budget: Budget = Budget()
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("po", "to"):
+            raise ValueError("unknown task mode %r" % (self.mode,))
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything that shapes the run besides the formula."""
+        payload = {
+            "mode": self.mode,
+            "strategy": self.strategy if self.mode == "to" else None,
+            "decisions": self.budget.decisions,
+            "seconds": self.budget.seconds,
+            "overrides": sorted(self.overrides),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.instance, self.solver, self.fingerprint())
+
+
+@dataclass
+class Record:
+    """One JSONL row: the outcome of attempting one :class:`Task`.
+
+    Failures (worker crash, hard timeout, solver disagreement) carry a
+    synthesized ``Outcome.UNKNOWN`` measurement so downstream aggregation
+    treats them like the paper treats timeouts — censored, not fatal.
+    """
+
+    instance: str
+    solver: str
+    fingerprint: str
+    status: str
+    measurement: Optional[Measurement] = None
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.instance, self.solver, self.fingerprint)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "instance": self.instance,
+            "solver": self.solver,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "attempts": self.attempts,
+        }
+        if self.measurement is not None:
+            out["measurement"] = measurement_to_dict(self.measurement)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Record":
+        m = data.get("measurement")
+        return cls(
+            instance=data["instance"],
+            solver=data["solver"],
+            fingerprint=data.get("fingerprint", ""),
+            status=data.get("status", STATUS_OK),
+            measurement=measurement_from_dict(m) if m is not None else None,
+            attempts=data.get("attempts", 1),
+            error=data.get("error"),
+        )
+
+
+def _failure_measurement(task: Task, seconds: float) -> Measurement:
+    """Outcome-style failure stand-in: censored like a timeout."""
+    return Measurement(
+        instance=task.instance,
+        solver=task.solver,
+        outcome=Outcome.UNKNOWN,
+        decisions=task.budget.decisions,
+        seconds=seconds,
+    )
+
+
+def execute_task(task: Task) -> Measurement:
+    """Run one task in the current process (the default worker body)."""
+    overrides = dict(task.overrides)
+    if task.mode == "to":
+        m = solve_to(
+            task.formula,
+            task.instance,
+            strategy=task.strategy,
+            budget=task.budget,
+            **overrides
+        )
+    else:
+        m = solve_po(task.formula, task.instance, budget=task.budget, **overrides)
+    # The label is the task's business (DIA solves a pre-built prenex form in
+    # "po" mode but records it as TO), so stamp it unconditionally.
+    m.solver = task.solver
+    m.instance = task.instance
+    return m
+
+
+# -- JSONL persistence --------------------------------------------------------
+
+
+class ResultsLog:
+    """Append-only JSONL store of :class:`Record` rows keyed for resume."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+
+    def load(self) -> Dict[Tuple[str, str, str], Record]:
+        """Read every well-formed row; tolerate a torn final line."""
+        records: Dict[Tuple[str, str, str], Record] = {}
+        if not os.path.exists(self.path):
+            return records
+        with open(self.path, "r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = Record.from_dict(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    # A crash mid-append can tear the last line; skip it and
+                    # let the sweep re-run that one task.
+                    continue
+                records[rec.key] = rec
+        return records
+
+    def append(self, record: Record) -> None:
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+            # A crash mid-append can leave a torn final line with no trailing
+            # newline; terminate it so the first new row is not glued onto
+            # (and lost inside) the unparseable fragment.
+            if self._handle.tell() > 0:
+                with open(self.path, "rb") as check:
+                    check.seek(-1, os.SEEK_END)
+                    if check.read(1) != b"\n":
+                        self._handle.write("\n")
+        self._handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultsLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- the pool -----------------------------------------------------------------
+
+
+def _worker_main(task: Task, executor: Callable[[Task], Measurement], conn) -> None:
+    """Worker body: run the task, ship the result (or the traceback) back."""
+    try:
+        measurement = executor(task)
+        conn.send((STATUS_OK, measurement_to_dict(measurement)))
+    except BaseException:
+        try:
+            conn.send((STATUS_CRASH, traceback.format_exc()))
+        except Exception:
+            pass  # parent will see the dead process and record a crash
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Slot:
+    """One live worker process and its bookkeeping."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    index: int
+    task: Task
+    attempt: int
+    started: float
+    deadline: Optional[float]
+
+
+def _mp_context():
+    """Prefer fork (fast, no re-import requirements for test executors)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    jobs: int = 1,
+    results: Optional[object] = None,
+    wall_timeout: Optional[float] = None,
+    max_retries: int = 1,
+    executor: Optional[Callable[[Task], Measurement]] = None,
+    poll_interval: float = 0.01,
+) -> List[Record]:
+    """Run ``tasks`` and return one :class:`Record` per task, in task order.
+
+    Args:
+        tasks: the runs to schedule. Keys (instance, solver, fingerprint)
+            should be unique; duplicate keys share one record.
+        jobs: worker processes. ``1`` runs serially in-process (the exact
+            legacy execution model); ``>1`` uses the fault-isolated pool.
+        results: a :class:`ResultsLog`, a path string, or None. When given,
+            already-recorded keys are skipped (resume) and every new record
+            is appended as it completes.
+        wall_timeout: hard per-run seconds; exceeded runs have their worker
+            terminated and are recorded as ``hard-timeout``. Only enforced
+            with ``jobs > 1`` (a single process cannot kill itself safely);
+            serial runs still honor the budget's cooperative limits.
+        max_retries: how many times a *crashed* task is re-queued before a
+            crash record is written. Hard timeouts are not retried (killing
+            the same run later would only waste the budget again).
+        executor: the task body, a picklable module-level callable mapping
+            Task -> Measurement. Defaults to :func:`execute_task`; tests
+            substitute crashing/hanging bodies to exercise fault isolation.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if executor is None:
+        executor = execute_task
+
+    log: Optional[ResultsLog]
+    if results is None:
+        log = None
+    elif isinstance(results, ResultsLog):
+        log = results
+    else:
+        log = ResultsLog(results)
+    done: Dict[Tuple[str, str, str], Record] = log.load() if log is not None else {}
+
+    out: List[Optional[Record]] = [None] * len(tasks)
+    pending: List[Tuple[int, Task, int]] = []  # (index, task, attempt)
+    for i, task in enumerate(tasks):
+        cached = done.get(task.key)
+        if cached is not None:
+            out[i] = cached
+        else:
+            pending.append((i, task, 1))
+
+    def finish(index: int, task: Task, record: Record) -> None:
+        out[index] = record
+        done[task.key] = record
+        if log is not None:
+            log.append(record)
+
+    if jobs == 1:
+        for index, task, _ in pending:
+            record = _run_serial(task, executor, max_retries)
+            finish(index, task, record)
+    else:
+        _run_pool(
+            pending, jobs, executor, wall_timeout, max_retries, finish, poll_interval
+        )
+
+    if log is not None and not isinstance(results, ResultsLog):
+        log.close()
+    assert all(r is not None for r in out)
+    return out  # type: ignore[return-value]
+
+
+def _run_serial(
+    task: Task, executor: Callable[[Task], Measurement], max_retries: int
+) -> Record:
+    attempts = 0
+    while True:
+        attempts += 1
+        start = time.monotonic()
+        try:
+            measurement = executor(task)
+        except Exception:
+            if attempts <= max_retries:
+                continue
+            return Record(
+                instance=task.instance,
+                solver=task.solver,
+                fingerprint=task.fingerprint(),
+                status=STATUS_CRASH,
+                measurement=_failure_measurement(task, time.monotonic() - start),
+                attempts=attempts,
+                error=traceback.format_exc(),
+            )
+        return Record(
+            instance=task.instance,
+            solver=task.solver,
+            fingerprint=task.fingerprint(),
+            status=STATUS_OK,
+            measurement=measurement,
+            attempts=attempts,
+        )
+
+
+def _run_pool(
+    pending: List[Tuple[int, Task, int]],
+    jobs: int,
+    executor: Callable[[Task], Measurement],
+    wall_timeout: Optional[float],
+    max_retries: int,
+    finish: Callable[[int, Task, Record], None],
+    poll_interval: float,
+) -> None:
+    ctx = _mp_context()
+    queue: List[Tuple[int, Task, int]] = list(pending)
+    running: List[_Slot] = []
+
+    def spawn(index: int, task: Task, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main, args=(task, executor, child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end
+        now = time.monotonic()
+        running.append(
+            _Slot(
+                process=process,
+                conn=parent_conn,
+                index=index,
+                task=task,
+                attempt=attempt,
+                started=now,
+                deadline=(now + wall_timeout) if wall_timeout is not None else None,
+            )
+        )
+
+    def reap(slot: _Slot) -> None:
+        running.remove(slot)
+        slot.conn.close()
+        slot.process.join(timeout=5.0)
+        if slot.process.is_alive():  # pragma: no cover - stuck worker
+            slot.process.kill()
+            slot.process.join()
+
+    def settle(slot: _Slot, status: str, payload: object) -> None:
+        """Turn a worker's exit into a record or a retry."""
+        task, attempt = slot.task, slot.attempt
+        elapsed = time.monotonic() - slot.started
+        if status == STATUS_OK:
+            finish(
+                slot.index,
+                task,
+                Record(
+                    instance=task.instance,
+                    solver=task.solver,
+                    fingerprint=task.fingerprint(),
+                    status=STATUS_OK,
+                    measurement=measurement_from_dict(payload),
+                    attempts=attempt,
+                ),
+            )
+            return
+        if status == STATUS_CRASH and attempt <= max_retries:
+            queue.append((slot.index, task, attempt + 1))
+            return
+        finish(
+            slot.index,
+            task,
+            Record(
+                instance=task.instance,
+                solver=task.solver,
+                fingerprint=task.fingerprint(),
+                status=status,
+                measurement=_failure_measurement(task, elapsed),
+                attempts=attempt,
+                error=payload if isinstance(payload, str) else None,
+            ),
+        )
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                index, task, attempt = queue.pop(0)
+                spawn(index, task, attempt)
+            progressed = False
+            now = time.monotonic()
+            for slot in list(running):
+                result = None
+                try:
+                    if slot.conn.poll():
+                        result = slot.conn.recv()
+                except (EOFError, OSError):
+                    result = None  # died without sending: handled below
+                if result is not None:
+                    reap(slot)
+                    settle(slot, result[0], result[1])
+                    progressed = True
+                elif not slot.process.is_alive():
+                    # Dead without a message: hard crash (OOM kill, segfault).
+                    exitcode = slot.process.exitcode
+                    reap(slot)
+                    settle(
+                        slot,
+                        STATUS_CRASH,
+                        "worker died without reporting (exitcode %s)" % (exitcode,),
+                    )
+                    progressed = True
+                elif slot.deadline is not None and now > slot.deadline:
+                    slot.process.terminate()
+                    reap(slot)
+                    settle(
+                        slot,
+                        STATUS_HARD_TIMEOUT,
+                        "hard wall-clock timeout after %.1fs" % (now - slot.started),
+                    )
+                    progressed = True
+            if not progressed:
+                time.sleep(poll_interval)
+    finally:
+        for slot in list(running):  # interrupted: leave no orphans behind
+            slot.process.terminate()
+            reap(slot)
+
+
+# -- pair plumbing on top of records ------------------------------------------
+
+
+def measurements_by_key(records: Iterable[Record]) -> Dict[Tuple[str, str], Measurement]:
+    """Index usable measurements by (instance, solver) for pair reassembly."""
+    out: Dict[Tuple[str, str], Measurement] = {}
+    for rec in records:
+        if rec.status == STATUS_DISAGREEMENT or rec.measurement is None:
+            continue
+        out[(rec.instance, rec.solver)] = rec.measurement
+    return out
+
+
+def disagreement_record(exc: SolverDisagreement) -> Record:
+    """A first-class failure row for a TO/PO outcome mismatch."""
+    return Record(
+        instance=exc.a.instance or exc.b.instance,
+        solver="%s|%s" % (exc.a.solver, exc.b.solver),
+        fingerprint="",
+        status=STATUS_DISAGREEMENT,
+        measurement=None,
+        error=str(exc),
+    )
+
+
+def note_disagreement(exc: SolverDisagreement, log: Optional[ResultsLog]) -> Record:
+    """Record a disagreement as data; re-raise only when nothing records it."""
+    record = disagreement_record(exc)
+    if log is None:
+        raise exc
+    log.append(record)
+    return record

@@ -15,21 +15,29 @@ that the prefix *representation* is the only difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.formula import QBF
-from repro.core.result import Outcome, SolveResult
+from repro.core.result import Outcome, SolveResult, SolverStats
 from repro.core.solver import SolverConfig, solve
 from repro.prenexing.strategies import prenex
 
 
 @dataclass(frozen=True)
 class Budget:
-    """Per-run cost limits; ``decisions`` plays the role of the timeout."""
+    """Per-run cost limits; ``decisions`` plays the role of the timeout.
+
+    The wall-clock cap defaults to *off*: with a decision budget in force a
+    cooperative ``max_seconds`` only censors runs early on slow machines and
+    makes recorded decision counts machine-dependent. Pass ``seconds``
+    explicitly for interactive use; batch sweeps should prefer the parallel
+    harness's *hard* per-run timeout (:mod:`repro.evalx.parallel`), which
+    kills the worker without biasing completed measurements.
+    """
 
     decisions: int = 2000
-    seconds: Optional[float] = 20.0
+    seconds: Optional[float] = None
 
     def to_config(self, **overrides) -> SolverConfig:
         return SolverConfig(
@@ -48,6 +56,9 @@ class Measurement:
     seconds: float
     learned_clauses: int = 0
     learned_cubes: int = 0
+    #: full work counters of the run, for JSONL persistence and post-hoc
+    #: analysis; None for hand-built or legacy measurements.
+    stats: Optional[SolverStats] = None
 
     @property
     def timed_out(self) -> bool:
@@ -69,6 +80,7 @@ def _measure(instance: str, solver: str, formula: QBF, config: SolverConfig) -> 
         seconds=result.seconds,
         learned_clauses=result.stats.learned_clauses,
         learned_cubes=result.stats.learned_cubes,
+        stats=result.stats,
     )
 
 
@@ -91,12 +103,28 @@ def solve_to(
     return _measure(instance, "TO(%s)" % strategy, flat, budget.to_config(**overrides))
 
 
-def check_agreement(a: Measurement, b: Measurement) -> None:
-    """Raise if two completed runs of the same instance disagree."""
-    if a.timed_out or b.timed_out:
-        return
-    if a.outcome is not b.outcome:
-        raise AssertionError(
+class SolverDisagreement(AssertionError):
+    """Two completed runs of the same instance returned different outcomes.
+
+    Subclasses :class:`AssertionError` for backward compatibility with
+    callers that guarded ``check_agreement`` with ``except AssertionError``.
+    Carries both :class:`Measurement` objects so a batch harness can record
+    the disagreement as data (a first-class failure row) instead of letting
+    one bad instance crash a whole sweep.
+    """
+
+    def __init__(self, a: Measurement, b: Measurement):
+        super().__init__(
             "solver disagreement on %s: %s=%s vs %s=%s"
             % (a.instance, a.solver, a.outcome, b.solver, b.outcome)
         )
+        self.a = a
+        self.b = b
+
+
+def check_agreement(a: Measurement, b: Measurement) -> None:
+    """Raise :class:`SolverDisagreement` if two completed runs disagree."""
+    if a.timed_out or b.timed_out:
+        return
+    if a.outcome is not b.outcome:
+        raise SolverDisagreement(a, b)

@@ -49,6 +49,17 @@ def pair_point(label: str, to_run: Measurement, po_run: Measurement) -> ScatterP
     )
 
 
+def pair_points(
+    pairs: Iterable[Tuple[str, Measurement, Measurement]],
+) -> List[ScatterPoint]:
+    """Bulk :func:`pair_point` over (label, TO, PO) triples.
+
+    The batch harness and the CLI reassemble measurement pairs from JSONL
+    records; this is the one-stop conversion to figure-ready points.
+    """
+    return [pair_point(label, to_run, po_run) for label, to_run, po_run in pairs]
+
+
 def median(values: Sequence[float]) -> float:
     """Median of a non-empty sequence (paper: median solving time)."""
     if not values:

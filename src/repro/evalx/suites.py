@@ -18,7 +18,20 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.formula import QBF
-from repro.evalx.runner import Budget, Measurement, check_agreement, solve_po, solve_to
+from repro.evalx.parallel import (
+    ResultsLog,
+    Task,
+    measurements_by_key,
+    note_disagreement,
+    run_tasks,
+)
+from repro.evalx.runner import (
+    Budget,
+    Measurement,
+    SolverDisagreement,
+    check_agreement,
+    solve_po,
+)
 from repro.evalx.scatter import ScalingSeries, virtual_best
 from repro.generators.fixed import FixedParams, generate_fixed
 from repro.generators.fpv import FpvParams, generate_fpv
@@ -48,6 +61,37 @@ class PairResult:
     def to_best(self) -> Measurement:
         """The paper's QUBE(TO)*: virtual best over the strategies run."""
         return virtual_best(self.to_runs)
+
+
+# -- batch plumbing -----------------------------------------------------------
+#
+# Every suite builds a flat task list and hands it to the fault-isolated
+# batch runner (repro.evalx.parallel). ``jobs=1`` runs serially in-process,
+# which is the exact legacy execution model; ``jobs>1`` fans out over worker
+# processes with hard per-run timeouts and crash isolation. ``results_path``
+# makes the sweep resumable (already-recorded runs are skipped).
+
+
+def _open_log(results_path: Optional[str]) -> Optional[ResultsLog]:
+    return ResultsLog(results_path) if results_path else None
+
+
+def _checked(to_run: Measurement, po_run: Measurement, log: Optional[ResultsLog]) -> None:
+    """TO/PO agreement: raise when unlogged, record as data when logged."""
+    try:
+        check_agreement(to_run, po_run)
+    except SolverDisagreement as exc:
+        note_disagreement(exc, log)
+
+
+def _run_batch(
+    tasks: Sequence[Task],
+    jobs: int,
+    log: Optional[ResultsLog],
+    wall_timeout: Optional[float],
+) -> Dict[Tuple[str, str], Measurement]:
+    records = run_tasks(tasks, jobs=jobs, results=log, wall_timeout=wall_timeout)
+    return measurements_by_key(records)
 
 
 # -- NCF (Section VII-A / Table I rows 1-4 / Figure 3) -------------------------
@@ -82,23 +126,36 @@ def ncf_settings(instances: int = 4) -> List[Tuple[str, List[NcfParams]]]:
 
 
 def run_ncf(
-    budget: Budget = Budget(decisions=3000, seconds=8.0),
+    budget: Budget = Budget(decisions=3000),
     instances: int = 4,
     strategies: Sequence[str] = STRATEGIES,
+    jobs: int = 1,
+    results_path: Optional[str] = None,
+    wall_timeout: Optional[float] = None,
 ) -> List[PairResult]:
     """Run QUBE(TO) under each strategy and QUBE(PO) on the NCF sweep."""
-    results: List[PairResult] = []
+    tasks: List[Task] = []
+    meta: List[Tuple[str, str]] = []
     for setting, params_list in ncf_settings(instances):
         for params in params_list:
             phi = generate_ncf(params)
-            to_runs = {
-                s: solve_to(phi, params.label, strategy=s, budget=budget)
-                for s in strategies
-            }
-            po_run = solve_po(phi, params.label, budget=budget)
-            for m in to_runs.values():
-                check_agreement(m, po_run)
-            results.append(PairResult(params.label, setting, to_runs, po_run))
+            for s in strategies:
+                tasks.append(
+                    Task(params.label, "TO(%s)" % s, phi, "to", s, budget)
+                )
+            tasks.append(Task(params.label, "PO", phi, "po", budget=budget))
+            meta.append((params.label, setting))
+    with_log = _open_log(results_path)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    results: List[PairResult] = []
+    for label, setting in meta:
+        to_runs = {s: by_key[(label, "TO(%s)" % s)] for s in strategies}
+        po_run = by_key[(label, "PO")]
+        for m in to_runs.values():
+            _checked(m, po_run, with_log)
+        results.append(PairResult(label, setting, to_runs, po_run))
+    if with_log is not None:
+        with_log.close()
     return results
 
 
@@ -126,18 +183,31 @@ def fpv_instances(count: int = 24, seed_base: int = 0) -> List[FpvParams]:
 
 
 def run_fpv(
-    budget: Budget = Budget(decisions=4000, seconds=10.0),
+    budget: Budget = Budget(decisions=4000),
     count: int = 24,
     strategy: str = "eu_au",
+    jobs: int = 1,
+    results_path: Optional[str] = None,
+    wall_timeout: Optional[float] = None,
 ) -> List[PairResult]:
     """Run the FPV suite with the ∃↑∀↑ strategy (the paper's choice)."""
-    results: List[PairResult] = []
+    tasks: List[Task] = []
+    labels: List[str] = []
     for params in fpv_instances(count):
         phi = generate_fpv(params)
-        to_run = solve_to(phi, params.label, strategy=strategy, budget=budget)
-        po_run = solve_po(phi, params.label, budget=budget)
-        check_agreement(to_run, po_run)
-        results.append(PairResult(params.label, "fpv", {strategy: to_run}, po_run))
+        tasks.append(Task(params.label, "TO(%s)" % strategy, phi, "to", strategy, budget))
+        tasks.append(Task(params.label, "PO", phi, "po", budget=budget))
+        labels.append(params.label)
+    with_log = _open_log(results_path)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    results: List[PairResult] = []
+    for label in labels:
+        to_run = by_key[(label, "TO(%s)" % strategy)]
+        po_run = by_key[(label, "PO")]
+        _checked(to_run, po_run, with_log)
+        results.append(PairResult(label, "fpv", {strategy: to_run}, po_run))
+    if with_log is not None:
+        with_log.close()
     return results
 
 
@@ -181,28 +251,46 @@ def dia_instances(max_n_cap: int = 8) -> List[Tuple[str, QBF, QBF]]:
 
 
 def run_dia(
-    budget: Budget = Budget(decisions=6000, seconds=20.0), max_n_cap: int = 8
+    budget: Budget = Budget(decisions=6000),
+    max_n_cap: int = 8,
+    jobs: int = 1,
+    results_path: Optional[str] = None,
+    wall_timeout: Optional[float] = None,
 ) -> List[PairResult]:
     """Run TO/PO on every DIA instance (prenex form == equation (16))."""
-    results: List[PairResult] = []
+    tasks: List[Task] = []
+    labels: List[str] = []
     for label, tree, flat in dia_instances(max_n_cap):
         # The prenex form is built directly by the encoder (equation (16)),
-        # so measure it as-is rather than re-prenexing the tree.
-        po_run = solve_po(tree, label, budget=budget)
-        to_run = solve_po(flat, label, budget=budget)
-        to_run.solver = "TO(eq16)"
-        check_agreement(to_run, po_run)
+        # so measure it as-is ("po" mode) rather than re-prenexing the tree;
+        # the task's solver label records it as the TO side.
+        tasks.append(Task(label, "PO", tree, "po", budget=budget))
+        tasks.append(Task(label, "TO(eq16)", flat, "po", budget=budget))
+        labels.append(label)
+    with_log = _open_log(results_path)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    results: List[PairResult] = []
+    for label in labels:
+        po_run = by_key[(label, "PO")]
+        to_run = by_key[(label, "TO(eq16)")]
+        _checked(to_run, po_run, with_log)
         results.append(PairResult(label, label.rsplit("-", 1)[0], {"eu_au": to_run}, po_run))
+    if with_log is not None:
+        with_log.close()
     return results
 
 
 def run_dia_scaling(
     family: str = "counter",
     sizes: Sequence[int] = (2, 3),
-    budget: Budget = Budget(decisions=8000, seconds=30.0),
+    budget: Budget = Budget(decisions=8000),
     max_n_cap: int = 10,
 ) -> Tuple[List[ScalingSeries], List[ScalingSeries]]:
-    """Figure 6: cost vs tested length per model size, PO and TO series."""
+    """Figure 6: cost vs tested length per model size, PO and TO series.
+
+    Stays serial on purpose: each length's run decides whether the series
+    stops (double timeout), so the work items are not independent.
+    """
     from repro.smv.models import model_by_name
     from repro.smv.reachability import eccentricity
 
@@ -298,25 +386,40 @@ def _fixed_pool(count: int, seed_base: int) -> List[FixedParams]:
 
 def run_eval06(
     kind: str,
-    budget: Budget = Budget(decisions=4000, seconds=10.0),
+    budget: Budget = Budget(decisions=4000),
     count: int = 30,
     min_ratio: float = 0.2,
+    jobs: int = 1,
+    results_path: Optional[str] = None,
+    wall_timeout: Optional[float] = None,
 ) -> Tuple[List[PairResult], int]:
     """The Figure-7 pipeline: miniscope, filter by PO/TO ratio, compare.
 
     Returns the pair results for instances that pass the footnote-9 filter
     plus the number of instances filtered out (the paper reports that the
-    vast majority of evaluation instances show no tangible structure).
+    vast majority of evaluation instances show no tangible structure). The
+    (cheap) miniscoping filter runs in-process; only the solver runs are
+    fanned out.
     """
-    results: List[PairResult] = []
+    tasks: List[Task] = []
+    labels: List[str] = []
     filtered_out = 0
     for label, phi in eval06_instances(kind, count):
         tree = miniscope(phi)
         if structure_ratio(phi, tree) <= min_ratio:
             filtered_out += 1
             continue
-        to_run = solve_to(phi, label, strategy="eu_au", budget=budget)
-        po_run = solve_po(tree, label, budget=budget)
-        check_agreement(to_run, po_run)
+        tasks.append(Task(label, "TO(eu_au)", phi, "to", "eu_au", budget))
+        tasks.append(Task(label, "PO", tree, "po", budget=budget))
+        labels.append(label)
+    with_log = _open_log(results_path)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    results: List[PairResult] = []
+    for label in labels:
+        to_run = by_key[(label, "TO(eu_au)")]
+        po_run = by_key[(label, "PO")]
+        _checked(to_run, po_run, with_log)
         results.append(PairResult(label, kind, {"eu_au": to_run}, po_run))
+    if with_log is not None:
+        with_log.close()
     return results, filtered_out

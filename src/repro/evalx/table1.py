@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.evalx.runner import Measurement, check_agreement
+from repro.evalx.runner import Measurement, SolverDisagreement, check_agreement
 
 
 @dataclass
@@ -41,6 +41,10 @@ class Table1Row:
     to_slower_10x: int = 0
     #: both completed and PO spent ≥ 10x the TO decisions.
     po_slower_10x: int = 0
+    #: completed runs whose outcomes disagreed — recorded as data (the
+    #: batch harness's policy) rather than aborting the aggregation; such
+    #: pairs are excluded from every cost column.
+    disagreements: int = 0
     total: int = 0
 
     @property
@@ -64,8 +68,19 @@ def classify_pair(
     po_run: Measurement,
     tie_margin: int,
 ) -> None:
-    """Fold one instance's (TO, PO) measurement pair into a row."""
-    check_agreement(to_run, po_run)
+    """Fold one instance's (TO, PO) measurement pair into a row.
+
+    A pair whose completed outcomes disagree is counted in
+    ``row.disagreements`` and otherwise skipped: its costs are meaningless
+    (at least one side is wrong), but one bad instance must not abort a
+    whole sweep's aggregation.
+    """
+    try:
+        check_agreement(to_run, po_run)
+    except SolverDisagreement:
+        row.disagreements += 1
+        row.total += 1
+        return
     row.total += 1
     if to_run.timed_out and po_run.timed_out:
         row.both_timeout += 1

@@ -121,3 +121,92 @@ class TestBudgets:
                                          learn_clauses=False, learn_cubes=False))
         assert result.outcome is Outcome.UNKNOWN
         assert result.stats.decisions <= 2
+
+
+class TestPureLiteralBacktracking:
+    """Regression tests: purity must survive backjumps (Section III).
+
+    Pre-fix, ``_backtrack`` never re-seeded ``_pure_candidates`` and
+    ``_apply_pure_literals`` dropped candidates that happened to be assigned
+    when examined, so a variable that is pure in the restored state was never
+    reconsidered and the monotone-literal rule silently degraded as search
+    deepened.
+    """
+
+    def _decide(self, solver, lit):
+        solver._level_start.append(len(solver._trail))
+        solver._decision.append((lit, False))
+        solver._assign(lit, None)
+
+    def test_backtrack_reseeds_pure_candidates(self):
+        # ∃{1,2,3} : (1 ∨ 2) ∧ (¬2 ∨ 3). Variable 1 never occurs negated,
+        # so it is pure in *every* state where it is unassigned.
+        phi = QBF.prenex([(EXISTS, [1, 2, 3])], [(1, 2), (-2, 3)])
+        solver = QdpllSolver(phi)
+        # Simulate mid-search: the install-time candidates have been consumed.
+        solver._pure_candidates.clear()
+        # Decision level 1: assign 2. Satisfying (1 ∨ 2) re-enqueues vars 1
+        # and 2 as purity candidates via _on_clause_sat.
+        self._decide(solver, 2)
+        assert {1, 2} <= solver._pure_candidates
+        # The pure rule fires for the unassigned var 1 and examines var 2
+        # while it is assigned (the pre-fix code dropped it permanently).
+        assert solver._apply_pure_literals()
+        assert solver._lit_value(1) is True
+        # Backjump to level 0. In the restored state var 1 is unassigned and
+        # still pure, exactly as a from-scratch solver would see it.
+        solver._backtrack(0)
+        assert all(solver._value[v] == 0 for v in (1, 2, 3))
+        assert {1, 2} <= solver._pure_candidates, (
+            "backtrack must re-seed purity candidates for unassigned vars"
+        )
+        # And the rule must actually re-fire, matching the fresh state.
+        fresh = QdpllSolver(phi)
+        assert fresh._apply_pure_literals()
+        assert solver._apply_pure_literals()
+        assert solver._lit_value(1) is True and fresh._lit_value(1) is True
+
+    def test_fix_changes_search_but_not_outcomes(self):
+        # Differential regression against a replica of the pre-fix
+        # ``_backtrack`` (no candidate re-seeding). On real NCF instances the
+        # re-seeded engine must (a) always agree on the outcome and (b)
+        # actually diverge in its decision/pure-literal counts — if the
+        # re-seed is ever lost again, the two engines become identical and
+        # this test fails.
+        from repro.core.literals import var_of
+        from repro.generators.ncf import NcfParams, generate_ncf
+
+        class PreFixSolver(QdpllSolver):
+            def _backtrack(self, to_level):
+                target = self._level_start[to_level + 1]
+                for lit in reversed(self._trail[target:]):
+                    v = var_of(lit)
+                    self._value[v] = 0
+                    self._reason[v] = None
+                    for rec in self._clause_occ[lit]:
+                        rec.n_true -= 1
+                        if rec.n_true == 0:
+                            self._on_clause_unsat(rec)
+                    for rec in self._clause_occ[-lit]:
+                        rec.n_false -= 1
+                    for rec in self._cube_occ[-lit]:
+                        rec.n_false -= 1
+                    for rec in self._cube_occ[lit]:
+                        rec.n_true -= 1
+                del self._trail[target:]
+                del self._level_start[to_level + 1 :]
+                del self._decision[to_level + 1 :]
+                self._queue_head = len(self._trail)
+
+        diverged = False
+        for seed in (1, 3):
+            phi = generate_ncf(NcfParams(dep=6, var=4, cls=12, lpc=5, seed=seed))
+            cfg = SolverConfig(max_decisions=2000)
+            fixed = QdpllSolver(phi, cfg).solve()
+            broken = PreFixSolver(phi, cfg).solve()
+            assert fixed.outcome is broken.outcome, seed
+            diverged = diverged or (
+                fixed.stats.pure_literals != broken.stats.pure_literals
+                or fixed.stats.decisions != broken.stats.decisions
+            )
+        assert diverged, "backtrack re-seeding had no observable effect"

@@ -5,7 +5,14 @@ import pytest
 from repro.core.formula import QBF, paper_example
 from repro.core.literals import EXISTS, FORALL
 from repro.core.result import Outcome
-from repro.evalx.runner import Budget, Measurement, check_agreement, solve_po, solve_to
+from repro.evalx.runner import (
+    Budget,
+    Measurement,
+    SolverDisagreement,
+    check_agreement,
+    solve_po,
+    solve_to,
+)
 from repro.evalx.scatter import (
     ScalingSeries,
     ScatterPoint,
@@ -50,6 +57,32 @@ class TestRunner:
         b = meas(solver="TO", outcome=Outcome.FALSE)
         with pytest.raises(AssertionError):
             check_agreement(a, b)
+
+    def test_disagreement_carries_both_measurements(self):
+        a = meas(outcome=Outcome.TRUE)
+        b = meas(solver="TO", outcome=Outcome.FALSE)
+        with pytest.raises(SolverDisagreement) as excinfo:
+            check_agreement(a, b)
+        assert excinfo.value.a is a
+        assert excinfo.value.b is b
+        assert "disagreement" in str(excinfo.value)
+        # Back-compat: callers guarding with AssertionError still work.
+        assert isinstance(excinfo.value, AssertionError)
+
+    def test_budget_defaults_decision_only(self):
+        # With a decision budget in force the cooperative wall-clock cap
+        # defaults to off, so decision counts are machine-independent.
+        budget = Budget(decisions=123)
+        assert budget.seconds is None
+        config = budget.to_config()
+        assert config.max_decisions == 123
+        assert config.max_seconds is None
+
+    def test_measurement_records_full_stats(self):
+        po = solve_po(paper_example(), budget=Budget(decisions=1000))
+        assert po.stats is not None
+        assert po.stats.decisions == po.decisions
+        assert po.stats.backtracks == po.stats.conflicts + po.stats.solutions
 
     def test_check_agreement_ignores_timeouts(self):
         a = meas(outcome=Outcome.UNKNOWN)
@@ -112,6 +145,19 @@ class TestTable1:
     def test_columns_order(self):
         row = Table1Row("s", "x", 1, 2, 3, 4, 5, 6, 7, 8, total=9)
         assert row.columns == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_disagreeing_pair_counted_not_raised(self):
+        row = Table1Row("s", "eu_au")
+        classify_pair(
+            row,
+            meas("TO", outcome=Outcome.TRUE, decisions=10),
+            meas("PO", outcome=Outcome.FALSE, decisions=10),
+            tie_margin=50,
+        )
+        assert row.disagreements == 1
+        assert row.total == 1
+        # The bogus pair must not leak into any cost column.
+        assert sum(row.columns) == 0
 
 
 class TestScatter:

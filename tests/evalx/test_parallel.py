@@ -1,0 +1,301 @@
+"""Tests for the fault-isolated multiprocess batch runner."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.formula import paper_example
+from repro.core.result import Outcome, SolverStats
+from repro.core.solver import SolverConfig
+from repro.evalx.parallel import (
+    Record,
+    ResultsLog,
+    STATUS_CRASH,
+    STATUS_DISAGREEMENT,
+    STATUS_HARD_TIMEOUT,
+    STATUS_OK,
+    Task,
+    config_from_dict,
+    config_to_dict,
+    disagreement_record,
+    execute_task,
+    measurement_from_dict,
+    measurement_to_dict,
+    measurements_by_key,
+    note_disagreement,
+    run_tasks,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.evalx.runner import Budget, Measurement, SolverDisagreement
+
+
+def make_tasks(names, budget=Budget(decisions=500)):
+    phi = paper_example()
+    return [Task(instance=n, solver="PO", formula=phi, budget=budget) for n in names]
+
+
+def record_keys(records):
+    return [
+        (r.instance, r.solver, r.status, r.measurement.outcome, r.measurement.decisions)
+        for r in records
+    ]
+
+
+# Module-level executors: picklable by reference, usable under any mp start
+# method.
+
+
+def crash_on_bad(task):
+    if task.instance.startswith("bad"):
+        raise RecursionError("synthetic worker crash for %s" % task.instance)
+    return execute_task(task)
+
+
+def hang_on_slow(task):
+    if task.instance.startswith("slow"):
+        while True:  # pragma: no cover - killed by the parent
+            time.sleep(0.05)
+    return execute_task(task)
+
+
+def always_crash(task):
+    raise RuntimeError("no task should have been executed: %s" % task.instance)
+
+
+class TestSerialization:
+    def test_measurement_roundtrip_with_stats(self):
+        m = execute_task(make_tasks(["i"])[0])
+        assert isinstance(m.stats, SolverStats)
+        back = measurement_from_dict(measurement_to_dict(m))
+        assert back == m
+
+    def test_measurement_roundtrip_without_stats(self):
+        m = Measurement("i", "PO", Outcome.UNKNOWN, 7, 0.5)
+        assert measurement_from_dict(measurement_to_dict(m)) == m
+
+    def test_stats_roundtrip(self):
+        stats = SolverStats(decisions=3, conflicts=2, learned_cubes=1)
+        assert stats_from_dict(stats_to_dict(stats)) == stats
+
+    def test_config_roundtrip(self):
+        cfg = SolverConfig(policy="naive", learn_cubes=False, max_decisions=9)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_record_roundtrip(self):
+        task = make_tasks(["i"])[0]
+        rec = Record(
+            instance="i",
+            solver="PO",
+            fingerprint=task.fingerprint(),
+            status=STATUS_OK,
+            measurement=execute_task(task),
+            attempts=2,
+        )
+        assert Record.from_dict(rec.to_dict()) == rec
+
+    def test_fingerprint_distinguishes_configs(self):
+        phi = paper_example()
+        a = Task("i", "PO", phi, budget=Budget(decisions=10))
+        b = Task("i", "PO", phi, budget=Budget(decisions=20))
+        c = Task("i", "PO", phi, budget=Budget(decisions=10), overrides=(("policy", "naive"),))
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+        assert a.fingerprint() == Task("j", "TO", phi, budget=Budget(decisions=10)).fingerprint()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Task("i", "PO", paper_example(), mode="sideways")
+
+
+class TestSerialRunner:
+    def test_jobs_one_runs_in_process(self):
+        records = run_tasks(make_tasks(["a", "b"]), jobs=1)
+        assert all(r.ok for r in records)
+        assert [r.instance for r in records] == ["a", "b"]
+        assert records[0].measurement.outcome is Outcome.FALSE
+
+    def test_jobs_one_captures_crash_as_record(self):
+        records = run_tasks(make_tasks(["a", "bad-1"]), jobs=1, executor=crash_on_bad)
+        assert records[0].ok
+        assert records[1].status == STATUS_CRASH
+        assert "RecursionError" in records[1].error
+        # Outcome-style failure: censored like a timeout, not missing.
+        assert records[1].measurement.outcome is Outcome.UNKNOWN
+        # bounded retry: first try + one retry by default
+        assert records[1].attempts == 2
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_tasks([], jobs=0)
+
+
+class TestPoolFaultIsolation:
+    def test_crash_isolated_to_one_instance(self):
+        records = run_tasks(
+            make_tasks(["a", "bad-1", "b", "c"]),
+            jobs=2,
+            executor=crash_on_bad,
+            max_retries=1,
+        )
+        by_instance = {r.instance: r for r in records}
+        assert by_instance["bad-1"].status == STATUS_CRASH
+        assert by_instance["bad-1"].attempts == 2
+        assert "RecursionError" in by_instance["bad-1"].error
+        for name in ("a", "b", "c"):
+            assert by_instance[name].ok, name
+
+    def test_hard_timeout_kills_worker(self):
+        start = time.monotonic()
+        records = run_tasks(
+            make_tasks(["a", "slow-1", "b"]),
+            jobs=2,
+            executor=hang_on_slow,
+            wall_timeout=0.5,
+        )
+        elapsed = time.monotonic() - start
+        by_instance = {r.instance: r for r in records}
+        assert by_instance["slow-1"].status == STATUS_HARD_TIMEOUT
+        assert by_instance["slow-1"].measurement.timed_out
+        assert by_instance["a"].ok and by_instance["b"].ok
+        # The hung worker must have been terminated, not waited out.
+        assert elapsed < 20
+
+    def test_parallel_equals_serial(self):
+        tasks = make_tasks(["i%d" % i for i in range(6)])
+        tasks += [
+            Task("i%d" % i, "TO(eu_au)", paper_example(), "to", "eu_au",
+                 Budget(decisions=500))
+            for i in range(6)
+        ]
+        serial = run_tasks(tasks, jobs=1)
+        parallel = run_tasks(tasks, jobs=4, wall_timeout=60)
+        assert record_keys(serial) == record_keys(parallel)
+
+
+class TestResume:
+    def test_resume_skips_recorded_runs(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        tasks = make_tasks(["a", "b", "c"])
+        first = run_tasks(tasks[:2], jobs=1, results=path)
+        assert all(r.ok for r in first)
+        with open(path) as handle:
+            assert len(handle.readlines()) == 2
+        # Recorded keys must not be re-executed: an executor that crashes on
+        # any call proves the first two tasks are served from the log.
+        with pytest.raises(RuntimeError):
+            always_crash(tasks[0])
+        resumed = run_tasks(tasks[:2], jobs=1, results=path, executor=always_crash, max_retries=0)
+        assert record_keys(resumed) == record_keys(first)
+        # The third task does run, and appends to the same log.
+        full = run_tasks(tasks, jobs=1, results=path)
+        assert [r.instance for r in full] == ["a", "b", "c"]
+        with open(path) as handle:
+            assert len(handle.readlines()) == 3
+
+    def test_changed_budget_invalidates_resume(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        run_tasks(make_tasks(["a"], budget=Budget(decisions=100)), jobs=1, results=path)
+        # Same instance under a different budget is a different key: reruns.
+        records = run_tasks(
+            make_tasks(["a"], budget=Budget(decisions=200)), jobs=1, results=path
+        )
+        assert records[0].ok
+        with open(path) as handle:
+            assert len(handle.readlines()) == 2
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        run_tasks(make_tasks(["a"]), jobs=1, results=path)
+        with open(path, "a") as handle:
+            handle.write('{"instance": "b", "solver": "PO", "trunc')
+        log = ResultsLog(path)
+        assert len(log.load()) == 1
+        # And the torn task simply reruns.
+        records = run_tasks(make_tasks(["a", "b"]), jobs=1, results=path)
+        assert all(r.ok for r in records)
+        # The append after the tear must not glue the new row onto the
+        # fragment: everything except the fragment itself stays parseable.
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        parsed = 0
+        for line in lines:
+            try:
+                json.loads(line)
+                parsed += 1
+            except ValueError:
+                pass
+        assert parsed == len(lines) - 1 == 2
+
+    def test_failure_records_resume_too(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        records = run_tasks(
+            make_tasks(["bad-1"]), jobs=1, results=path, executor=crash_on_bad,
+            max_retries=0,
+        )
+        assert records[0].status == STATUS_CRASH
+        resumed = run_tasks(make_tasks(["bad-1"]), jobs=1, results=path)
+        assert resumed[0].status == STATUS_CRASH  # served from the log
+
+
+class TestDisagreementPlumbing:
+    def _conflicting(self):
+        a = Measurement("i", "TO(eu_au)", Outcome.TRUE, 10, 0.1)
+        b = Measurement("i", "PO", Outcome.FALSE, 10, 0.1)
+        return SolverDisagreement(a, b)
+
+    def test_disagreement_record_shape(self):
+        rec = disagreement_record(self._conflicting())
+        assert rec.status == STATUS_DISAGREEMENT
+        assert rec.instance == "i"
+        assert "disagreement" in rec.error
+
+    def test_note_disagreement_raises_without_log(self):
+        with pytest.raises(SolverDisagreement):
+            note_disagreement(self._conflicting(), None)
+
+    def test_note_disagreement_logs_as_data(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        with ResultsLog(path) as log:
+            rec = note_disagreement(self._conflicting(), log)
+        assert rec.status == STATUS_DISAGREEMENT
+        with open(path) as handle:
+            row = json.loads(handle.readline())
+        assert row["status"] == STATUS_DISAGREEMENT
+
+    def test_measurements_by_key_skips_disagreements(self):
+        ok = run_tasks(make_tasks(["a"]), jobs=1)[0]
+        rows = [ok, disagreement_record(self._conflicting())]
+        assert set(measurements_by_key(rows)) == {("a", "PO")}
+
+
+class TestSuiteIntegration:
+    def test_run_ncf_parallel_equals_serial(self):
+        from repro.evalx.suites import run_ncf
+
+        tiny = Budget(decisions=150)
+        serial = run_ncf(budget=tiny, instances=1, strategies=("eu_au",))
+        parallel = run_ncf(
+            budget=tiny, instances=1, strategies=("eu_au",), jobs=2, wall_timeout=60
+        )
+        def key(results):
+            return [
+                (r.instance, r.setting, r.po_run.outcome, r.po_run.decisions,
+                 r.to_run("eu_au").outcome, r.to_run("eu_au").decisions)
+                for r in results
+            ]
+        assert key(serial) == key(parallel)
+
+    def test_run_ncf_resumable(self, tmp_path):
+        from repro.evalx.suites import run_ncf
+
+        path = str(tmp_path / "ncf.jsonl")
+        tiny = Budget(decisions=150)
+        first = run_ncf(budget=tiny, instances=1, strategies=("eu_au",),
+                        results_path=path)
+        lines_after_first = sum(1 for _ in open(path))
+        again = run_ncf(budget=tiny, instances=1, strategies=("eu_au",),
+                        results_path=path)
+        assert sum(1 for _ in open(path)) == lines_after_first
+        assert [r.instance for r in first] == [r.instance for r in again]
