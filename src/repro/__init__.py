@@ -41,6 +41,7 @@ from repro.core import (
     SolveResult,
     SolverConfig,
     SolverStats,
+    UnknownOutcomeError,
     evaluate,
     paper_example,
     q_dll,
@@ -65,6 +66,7 @@ __all__ = [
     "SolveResult",
     "SolverConfig",
     "SolverStats",
+    "UnknownOutcomeError",
     "__version__",
     "evaluate",
     "paper_example",

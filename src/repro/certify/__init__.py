@@ -1,0 +1,98 @@
+"""Clause/term resolution certificates for the Q-DLL engine.
+
+The subsystem has three layers:
+
+* :mod:`repro.certify.proof` — a passive :class:`ProofLogger` the solver
+  drives while it runs, recording the implicit clause/term resolution proof;
+* :mod:`repro.certify.store` — versioned JSONL serialization with streaming
+  read-back (:class:`JsonlSink`, :class:`MemorySink`, :func:`read_certificate`);
+* :mod:`repro.certify.checker` — an independent :func:`check_certificate`
+  that replays a derivation against the original formula, solver not
+  involved, honouring the quantifier tree's ``d(z)/f(z)`` partial order.
+
+:func:`solve_certified` bundles the three for the common case: solve,
+certify, self-check, in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.certify.checker import (
+    INCOMPLETE,
+    INVALID,
+    UNKNOWN,
+    VERIFIED,
+    CheckReport,
+    check_certificate,
+)
+from repro.certify.proof import DerivationTrace, ProofLogger
+from repro.certify.store import (
+    CERT_FORMAT,
+    CERT_VERSION,
+    CertificateSource,
+    CertificateStats,
+    JsonlSink,
+    MemorySink,
+    certificate_stats,
+    header_step,
+    read_certificate,
+)
+
+__all__ = [
+    "CERT_FORMAT",
+    "CERT_VERSION",
+    "CertificateSource",
+    "CertificateStats",
+    "CheckReport",
+    "DerivationTrace",
+    "INCOMPLETE",
+    "INVALID",
+    "JsonlSink",
+    "MemorySink",
+    "ProofLogger",
+    "UNKNOWN",
+    "VERIFIED",
+    "certificate_stats",
+    "certifying_config",
+    "check_certificate",
+    "header_step",
+    "read_certificate",
+    "solve_certified",
+]
+
+
+def certifying_config(config=None):
+    """Return ``config`` adjusted for certification.
+
+    The pure-literal rule has no counterpart in the resolution calculi, so a
+    run that uses it can produce honest-but-incomplete certificates; learning
+    must be on for any derivation to be recorded at all. This keeps every
+    other knob (budgets, heuristics) untouched.
+    """
+    from dataclasses import replace
+
+    from repro.core.solver import SolverConfig
+
+    if config is None:
+        config = SolverConfig()
+    return replace(config, pure_literals=False, learn_clauses=True, learn_cubes=True)
+
+
+def solve_certified(
+    formula, config=None
+) -> Tuple["SolveResult", MemorySink, CheckReport]:
+    """Solve ``formula`` with proof logging and self-check the certificate.
+
+    Returns ``(result, certificate, report)`` where ``certificate`` is the
+    in-memory step stream and ``report`` the independent checker's verdict
+    against the *original* formula. The config is passed through
+    :func:`certifying_config` first.
+    """
+    from repro.core.solver import QdpllSolver
+
+    sink = MemorySink()
+    logger = ProofLogger(sink)
+    result = QdpllSolver(formula, certifying_config(config), proof=logger).solve()
+    report = check_certificate(formula, sink)
+    return result, sink, report

@@ -1,0 +1,171 @@
+"""Versioned JSONL serialization of clause/term resolution certificates.
+
+A certificate is a stream of *steps*, one JSON object per line (QRP-inspired,
+but self-describing and greppable like the evalx results files):
+
+* ``{"type": "header", "format": "repro-cert", "version": 1, ...}`` — always
+  the first line; carries the claimed outcome once known via the conclusion.
+* ``{"type": "inp", "id": n, "clause": i, "lits": [...]}`` — an input clause:
+  a (possibly reduced) image of matrix clause ``i`` of the formula being
+  certified.
+* ``{"type": "cube0", "id": n, "lits": [...]}`` — an initial cube (term
+  axiom): a consistent set of literals satisfying every matrix clause.
+* ``{"type": "res", "id": n, "kind": "clause"|"cube", "ant": [a, b],
+  "pivot": v, "lits": [...]}`` — a resolution step on pivot variable ``v``
+  followed by a (possibly partial) universal/existential reduction.
+* ``{"type": "red", "id": n, "kind": ..., "ant": [a], "lits": [...]}`` — a
+  standalone reduction step.
+* ``{"type": "conclude", "outcome": "true"|"false"|"unknown", "final": id,
+  "complete": bool, "reason": ...}`` — the claim; ``final`` names the step
+  deriving the empty constraint (clause for FALSE, cube for TRUE).
+
+Steps are written as they happen (streaming append) and read back line by
+line, so a large proof never has to materialize as one object in memory:
+:func:`read_certificate` is a generator, and the checker keeps only the
+id -> literals map it still needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Union
+
+#: certificate format tag and version; bump the version on breaking changes.
+CERT_FORMAT = "repro-cert"
+CERT_VERSION = 1
+
+#: step type tags.
+HEADER = "header"
+INPUT_CLAUSE = "inp"
+INITIAL_CUBE = "cube0"
+RESOLUTION = "res"
+REDUCTION = "red"
+CONCLUSION = "conclude"
+
+#: constraint kinds, in the ``kind`` field of derivation steps.
+KIND_CLAUSE = "clause"
+KIND_CUBE = "cube"
+
+
+def header_step() -> Dict[str, object]:
+    return {"type": HEADER, "format": CERT_FORMAT, "version": CERT_VERSION}
+
+
+class MemorySink:
+    """In-memory step sink — what the evalx workers self-check against."""
+
+    def __init__(self) -> None:
+        self.steps: List[Dict[str, object]] = []
+
+    def emit(self, step: Dict[str, object]) -> None:
+        self.steps.append(step)
+
+    def close(self) -> None:
+        pass
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class JsonlSink:
+    """Streaming JSONL step sink: every step is flushed as one line."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+
+    def emit(self, step: Dict[str, object]) -> None:
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "w")
+        self._handle.write(json.dumps(step, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: anything the checker accepts as a certificate: a path, an open iterable of
+#: lines, a MemorySink, or a plain list of step dicts.
+CertificateSource = Union[str, MemorySink, Iterable[Dict[str, object]]]
+
+
+def read_certificate(source: CertificateSource) -> Iterator[Dict[str, object]]:
+    """Yield certificate steps one at a time (streaming for file paths)."""
+    if isinstance(source, str):
+        with open(source, "r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                yield json.loads(line)
+        return
+    for step in source:
+        yield step
+
+
+class CertificateStats:
+    """Step/literal counters of one certificate (for ``certify stats``)."""
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.inputs = 0
+        self.initial_cubes = 0
+        self.resolutions = 0
+        self.reductions = 0
+        self.literals = 0
+        self.max_width = 0
+        self.outcome: Optional[str] = None
+        self.complete: Optional[bool] = None
+
+    def feed(self, step: Dict[str, object]) -> None:
+        self.steps += 1
+        t = step.get("type")
+        if t == INPUT_CLAUSE:
+            self.inputs += 1
+        elif t == INITIAL_CUBE:
+            self.initial_cubes += 1
+        elif t == RESOLUTION:
+            self.resolutions += 1
+        elif t == REDUCTION:
+            self.reductions += 1
+        elif t == CONCLUSION:
+            self.outcome = step.get("outcome")
+            self.complete = step.get("complete")
+        lits = step.get("lits")
+        if isinstance(lits, list):
+            self.literals += len(lits)
+            self.max_width = max(self.max_width, len(lits))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "steps": self.steps,
+            "inputs": self.inputs,
+            "initial_cubes": self.initial_cubes,
+            "resolutions": self.resolutions,
+            "reductions": self.reductions,
+            "literals": self.literals,
+            "max_width": self.max_width,
+            "outcome": self.outcome,
+            "complete": self.complete,
+        }
+
+
+def certificate_stats(source: CertificateSource) -> CertificateStats:
+    """Stream ``source`` once and return its :class:`CertificateStats`."""
+    stats = CertificateStats()
+    for step in read_certificate(source):
+        stats.feed(step)
+    return stats

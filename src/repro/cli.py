@@ -9,12 +9,23 @@ Usage examples::
     python -m repro.cli generate ncf --dep 6 --var 4 --cls 12 --lpc 5 -o x.qtree
     python -m repro.cli stats instance.qtree
     python -m repro.cli evalx run ncf --jobs 4 --results ncf.jsonl
+    python -m repro.cli certify emit instance.qtree -o proof.jsonl
+    python -m repro.cli certify check instance.qtree proof.jsonl
+    python -m repro.cli certify stats proof.jsonl
 
 ``evalx run`` drives a whole TO-vs-PO suite sweep through the
 fault-isolated parallel harness: ``--jobs N`` fans runs out over worker
 processes (with hard per-run ``--wall-timeout`` kills and crash isolation),
 ``--results out.jsonl`` persists every measurement and makes an interrupted
-sweep resumable (recorded runs are skipped on the next invocation).
+sweep resumable (recorded runs are skipped on the next invocation); with
+``--certify`` every run also records its clause/term resolution proof,
+self-checks it against the original formula and stamps the verdict on the
+results row.
+
+``certify`` works with proofs directly: ``emit`` solves while logging the
+resolution derivation to a JSONL certificate, ``check`` replays a
+certificate against a formula with the independent checker (exit 0 only
+when it verifies), ``stats`` summarizes a certificate file.
 
 Formats are picked by extension: ``.qdimacs``/``.cnf`` (prenex) or
 ``.qtree`` (tree prefixes). ``-`` reads from stdin in QTREE format.
@@ -124,6 +135,7 @@ def cmd_evalx_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         results_path=args.results,
         wall_timeout=args.wall_timeout,
+        certify=args.certify,
     )
     filtered_out = None
     if args.suite == "ncf":
@@ -178,6 +190,73 @@ def cmd_evalx_run(args: argparse.Namespace) -> int:
     if args.results:
         print("measurements recorded in %s (rerun with the same path to resume)"
               % args.results)
+    if args.certify:
+        runs = [m for r in results for m in list(r.to_runs.values()) + [r.po_run]]
+        bad = [m for m in runs if m.certificate_ok is False]
+        certified = [m for m in runs if m.certificate_status is not None]
+        print(
+            "certificates: %d/%d checked, %d invalid"
+            % (len(certified), len(runs), len(bad))
+        )
+        for m in bad:
+            print("  INVALID certificate: %s %s" % (m.instance, m.solver))
+        if bad:
+            return 1
+    return 0
+
+
+def cmd_certify_emit(args: argparse.Namespace) -> int:
+    """Solve while logging the resolution proof; self-check unless asked not to."""
+    from repro.certify import (
+        JsonlSink,
+        ProofLogger,
+        certifying_config,
+        check_certificate,
+    )
+
+    phi = _read(args.input)
+    solved = prenex(phi, args.strategy) if args.to else phi
+    config = certifying_config(
+        SolverConfig(max_decisions=args.max_decisions, max_seconds=args.max_seconds)
+    )
+    with JsonlSink(args.output) as sink:
+        logger = ProofLogger(sink)
+        from repro.core.solver import QdpllSolver
+
+        result = QdpllSolver(solved, config, proof=logger).solve()
+    print("result      %s" % result.outcome.value.upper())
+    print("decisions   %d" % result.stats.decisions)
+    print("certificate %s" % args.output)
+    if args.no_check:
+        return 0
+    # Always check against the original formula: a TO proof must also be
+    # valid under the tree's partial order (prenexing only extends it).
+    report = check_certificate(phi, args.output)
+    print("check       %s%s" % (report.status, ": %s" % report.error if report.error else ""))
+    return 0 if report.ok else 1
+
+
+def cmd_certify_check(args: argparse.Namespace) -> int:
+    """Replay a certificate against a formula; exit 0 only on 'verified'."""
+    from repro.certify import check_certificate
+
+    phi = _read(args.input)
+    report = check_certificate(phi, args.certificate)
+    print("status      %s" % report.status)
+    if report.outcome:
+        print("outcome     %s" % report.outcome.upper())
+    print("steps       %d" % report.steps)
+    if report.error:
+        print("error       %s" % report.error)
+    return 0 if report.ok else 1
+
+
+def cmd_certify_stats(args: argparse.Namespace) -> int:
+    from repro.certify import certificate_stats
+
+    stats = certificate_stats(args.certificate)
+    for key, value in stats.to_dict().items():
+        print("%-14s%s" % (key, value))
     return 0
 
 
@@ -234,6 +313,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("input")
     p_stats.set_defaults(func=cmd_stats)
 
+    p_cert = sub.add_parser(
+        "certify", help="clause/term resolution certificates (emit, check, stats)"
+    )
+    cert_sub = p_cert.add_subparsers(dest="certify_command", required=True)
+    p_emit = cert_sub.add_parser(
+        "emit", help="solve while logging the resolution proof to a JSONL file"
+    )
+    p_emit.add_argument("input")
+    p_emit.add_argument("-o", "--output", required=True, metavar="CERT.JSONL")
+    p_emit.add_argument("--to", action="store_true",
+                        help="prenex first (the certificate still checks "
+                        "against the original tree)")
+    p_emit.add_argument("--strategy", default="eu_au", choices=STRATEGIES)
+    p_emit.add_argument("--max-decisions", type=int, default=None)
+    p_emit.add_argument("--max-seconds", type=float, default=None)
+    p_emit.add_argument("--no-check", action="store_true",
+                        help="skip the self-check after emitting")
+    p_emit.set_defaults(func=cmd_certify_emit)
+    p_check = cert_sub.add_parser(
+        "check", help="verify a certificate against a formula, solver not involved"
+    )
+    p_check.add_argument("input")
+    p_check.add_argument("certificate")
+    p_check.set_defaults(func=cmd_certify_check)
+    p_cstats = cert_sub.add_parser("stats", help="summarize a certificate file")
+    p_cstats.add_argument("certificate")
+    p_cstats.set_defaults(func=cmd_certify_stats)
+
     p_evalx = sub.add_parser(
         "evalx", help="batch TO-vs-PO experiment harness (parallel, resumable)"
     )
@@ -267,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--tie-margin", type=int, default=50)
     p_run.add_argument("--scatter", action="store_true",
                        help="also render the ASCII scatter of the sweep")
+    p_run.add_argument(
+        "--certify", action="store_true",
+        help="log and self-check a resolution proof for every run "
+        "(pure literals are disabled on certified runs); exits nonzero "
+        "if any certificate is invalid",
+    )
     p_run.set_defaults(func=cmd_evalx_run)
 
     return parser

@@ -15,7 +15,13 @@ from repro.core.formula import QBF, paper_example
 from repro.core.heuristics import ScoreKeeper, pick_literal
 from repro.core.literals import EXISTS, FORALL, Quant, neg, var_of
 from repro.core.prefix import Block, Prefix
-from repro.core.result import BudgetExceeded, Outcome, SolveResult, SolverStats
+from repro.core.result import (
+    BudgetExceeded,
+    Outcome,
+    SolveResult,
+    SolverStats,
+    UnknownOutcomeError,
+)
 from repro.core.simple import q_dll
 from repro.core.solver import QdpllSolver, SolverConfig, solve
 
@@ -36,6 +42,7 @@ __all__ = [
     "SolveResult",
     "SolverConfig",
     "SolverStats",
+    "UnknownOutcomeError",
     "evaluate",
     "existential_reduce",
     "is_contradictory",

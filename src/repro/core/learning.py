@@ -180,13 +180,24 @@ def _cube_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisOut
     return None
 
 
-def analyze_conflict(conflict: Sequence[int], view: TrailView) -> AnalysisOutcome:
-    """Derive a learned clause from a falsified clause (nogood learning)."""
+def analyze_conflict(
+    conflict: Sequence[int], view: TrailView, trace=None
+) -> AnalysisOutcome:
+    """Derive a learned clause from a falsified clause (nogood learning).
+
+    ``trace``, when given, is a :class:`repro.certify.proof.DerivationTrace`
+    mirroring every resolution/reduction step into a certificate. Tracing is
+    passive — it never changes which constraint is derived.
+    """
     work: Tuple[int, ...] = universal_reduce(tuple(conflict), view.prefix)
+    if trace is not None:
+        trace.reduced(work)
     banned: Set[int] = set()
     while True:
         outcome = _clause_backjump(work, view)
         if outcome is not None:
+            if trace is not None and isinstance(outcome, Terminal):
+                _finish_clause_refutation(work, view, trace)
             return outcome
         candidates = [
             l
@@ -205,15 +216,27 @@ def analyze_conflict(conflict: Sequence[int], view: TrailView) -> AnalysisOutcom
             banned.add(pivot)
             continue
         work = universal_reduce(resolvent, view.prefix)
+        if trace is not None:
+            trace.resolved(reason.lits, var_of(pivot), work)
 
 
-def analyze_solution(model_cube: Sequence[int], view: TrailView) -> AnalysisOutcome:
-    """Derive a learned cube from a satisfied cube (good learning)."""
+def analyze_solution(
+    model_cube: Sequence[int], view: TrailView, trace=None
+) -> AnalysisOutcome:
+    """Derive a learned cube from a satisfied cube (good learning).
+
+    ``trace`` mirrors the derivation into a certificate, as in
+    :func:`analyze_conflict`.
+    """
     work: Tuple[int, ...] = existential_reduce(tuple(model_cube), view.prefix)
+    if trace is not None:
+        trace.reduced(work)
     banned: Set[int] = set()
     while True:
         outcome = _cube_backjump(work, view)
         if outcome is not None:
+            if trace is not None and isinstance(outcome, Terminal):
+                _finish_cube_confirmation(work, view, trace)
             return outcome
         candidates = [
             l
@@ -232,6 +255,62 @@ def analyze_solution(model_cube: Sequence[int], view: TrailView) -> AnalysisOutc
             banned.add(pivot)
             continue
         work = existential_reduce(resolvent, view.prefix)
+        if trace is not None:
+            trace.resolved(reason.lits, var_of(pivot), work)
+
+
+def _finish_clause_refutation(work: Tuple[int, ...], view: TrailView, trace) -> None:
+    """Resolve a Terminal working clause down to the empty clause.
+
+    A Terminal clause either is empty already, or has every existential
+    literal falsified at decision level 0 (and no true universal there, or
+    the backjump computation would have blocked). Resolving those literals
+    with their level-0 unit reasons in reverse trail order terminates and
+    cannot produce a tautology: every literal involved is false on the
+    trail, and no two false literals clash. The only unresolvable case is a
+    literal assigned by the pure-literal rule (reason is not a clause),
+    which marks the certificate incomplete.
+    """
+    while work and trace.ok:
+        candidates = [
+            l
+            for l in work
+            if view.prefix.is_existential(l)
+            and isinstance(view.reason_of(var_of(l)), Clause)
+        ]
+        if not candidates:
+            trace.fail("terminal clause blocked on a reason-less literal")
+            return
+        pivot = max(candidates, key=lambda l: view.pos_of(var_of(l)))
+        reason = view.reason_of(var_of(pivot))
+        resolvent = resolve(work, reason.lits, var_of(pivot))
+        if resolvent is None:  # pragma: no cover - impossible on a real trail
+            trace.fail("tautological resolvent in terminal derivation")
+            return
+        work = universal_reduce(resolvent, view.prefix)
+        trace.resolved(reason.lits, var_of(pivot), work)
+
+
+def _finish_cube_confirmation(work: Tuple[int, ...], view: TrailView, trace) -> None:
+    """Dual of :func:`_finish_clause_refutation`: derive the empty cube."""
+    while work and trace.ok:
+        candidates = [
+            l
+            for l in work
+            if view.prefix.is_universal(l)
+            and isinstance(view.reason_of(var_of(l)), Cube)
+        ]
+        if not candidates:
+            trace.fail("terminal cube blocked on a reason-less literal")
+            return
+        pivot = max(candidates, key=lambda l: view.pos_of(var_of(l)))
+        reason = view.reason_of(var_of(pivot))
+        resolvent = resolve(work, reason.lits, var_of(pivot))
+        if resolvent is None:  # pragma: no cover - impossible on a real trail
+            trace.fail("tautological resolvent in terminal derivation")
+            return
+        work = existential_reduce(resolvent, view.prefix)
+        trace.resolved(reason.lits, var_of(pivot), work)
 
 
 def build_model_cube(

@@ -15,6 +15,21 @@ class BudgetExceeded(RuntimeError):
         self.spent = spent
 
 
+class UnknownOutcomeError(ValueError):
+    """An UNKNOWN outcome was asked for its truth value.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` guards
+    keep working. ``spent`` carries the decisions consumed before the budget
+    ran out (``None`` when the converter has no stats in hand), so batch
+    callers can report the censored cost without re-deriving it.
+    """
+
+    def __init__(self, spent: Optional[int] = None):
+        detail = "" if spent is None else " (budget exhausted after %d decisions)" % spent
+        super().__init__("UNKNOWN outcome has no truth value" + detail)
+        self.spent = spent
+
+
 class Outcome(enum.Enum):
     """Verdict of a solver run."""
 
@@ -25,7 +40,7 @@ class Outcome(enum.Enum):
 
     def __bool__(self) -> bool:
         if self is Outcome.UNKNOWN:
-            raise ValueError("UNKNOWN outcome has no truth value")
+            raise UnknownOutcomeError()
         return self is Outcome.TRUE
 
 
@@ -50,7 +65,6 @@ class SolverStats:
     backjumps: int = 0
     chrono_backtracks: int = 0
     max_trail: int = 0
-    restarts: int = 0
 
     @property
     def backtracks(self) -> int:
@@ -71,8 +85,10 @@ class SolveResult:
 
     @property
     def value(self) -> bool:
-        """Truth value; raises on UNKNOWN."""
-        return bool(self.outcome)
+        """Truth value; raises :class:`UnknownOutcomeError` on UNKNOWN."""
+        if self.outcome is Outcome.UNKNOWN:
+            raise UnknownOutcomeError(self.stats.decisions)
+        return self.outcome is Outcome.TRUE
 
     def __repr__(self) -> str:
         return "SolveResult(%s, decisions=%d, %.3fs)" % (

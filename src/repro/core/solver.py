@@ -110,11 +110,25 @@ _MODEL = "model"
 
 
 class QdpllSolver:
-    """One solving session over a fixed QBF. Use :func:`solve` for one-shots."""
+    """One solving session over a fixed QBF. Use :func:`solve` for one-shots.
 
-    def __init__(self, formula: QBF, config: Optional[SolverConfig] = None):
+    ``proof`` optionally attaches a :class:`repro.certify.proof.ProofLogger`
+    that records the run's implicit clause/term resolution derivation as a
+    machine-checkable certificate. Logging is passive — decisions,
+    assignments and learned constraints are identical with and without it —
+    and with ``proof=None`` every hook short-circuits on an ``is None``
+    test, so the disabled cost is zero.
+    """
+
+    def __init__(
+        self,
+        formula: QBF,
+        config: Optional[SolverConfig] = None,
+        proof: Optional[object] = None,
+    ):
         self.formula = formula
         self.config = config or SolverConfig()
+        self._proof = proof
         self.prefix = formula.prefix
         self.stats = SolverStats()
         nv = max(self.prefix.variables, default=0)
@@ -145,6 +159,8 @@ class QdpllSolver:
         self._trivially_false = False
         self._keeper = ScoreKeeper(self.prefix, decay_interval=self.config.decay_interval)
         self._install_matrix()
+        if self._proof is not None:
+            self._proof.register_formula(formula)
         self._view = TrailView(
             value=self._lit_value,
             level_of=lambda v: self._level[v],
@@ -480,6 +496,16 @@ class QdpllSolver:
         if self.config.max_seconds is not None:
             self._deadline = start + self.config.max_seconds
         outcome = self._run()
+        if self._proof is not None and not self._proof.concluded:
+            # A verdict that never passed through a Terminal analysis:
+            # budget exhaustion, or search exhausted by chronological flips
+            # alone. Conclude honestly with no backing derivation.
+            reason = (
+                "budget exhausted"
+                if outcome is Outcome.UNKNOWN
+                else "verdict reached by chronological exhaustion"
+            )
+            self._proof.conclude(outcome.value, None, reason=reason)
         return SolveResult(outcome, self.stats, time.monotonic() - start)
 
     def _budget_exhausted(self) -> bool:
@@ -498,8 +524,15 @@ class QdpllSolver:
 
     def _run(self) -> Outcome:
         if self._trivially_false:
+            if self._proof is not None:
+                # register_formula logged the clause whose reduction is
+                # empty; it is the whole refutation.
+                self._proof.conclude("false", self._proof.lookup(False, ()))
             return Outcome.FALSE
         if not self._orig_clauses:
+            if self._proof is not None:
+                # Empty matrix: the empty cube vacuously satisfies it.
+                self._proof.conclude("true", self._proof.initial_cube(()))
             return Outcome.TRUE
         while True:
             event = self._propagate()
@@ -528,15 +561,32 @@ class QdpllSolver:
             return outcome.shallow_level
         return outcome.level
 
+    def _bind_learned(self, trace: Optional[object], is_cube: bool, lits: Tuple[int, ...]) -> None:
+        """Name a learned constraint after its derivation's final step."""
+        if trace is None or not trace.ok:
+            return
+        if trace.cur_lits == lits:
+            self._proof.bind(is_cube, lits, trace.cur_id)
+        else:  # pragma: no cover - trace desync would be a logger bug
+            trace.fail("learned constraint does not match its derivation")
+
     def _handle_conflict(self, rec: _Rec) -> Optional[Outcome]:
         if self.config.learn_clauses:
-            outcome = analyze_conflict(rec.lits, self._view)
+            trace = None
+            if self._proof is not None:
+                trace = self._proof.begin_clause(rec.lits)
+            outcome = analyze_conflict(rec.lits, self._view, trace)
             if isinstance(outcome, Terminal):
+                if self._proof is not None:
+                    self._proof.conclude(
+                        "false", trace.final_id if trace is not None else None
+                    )
                 return Outcome.FALSE
             if isinstance(outcome, Backjump):
                 self.stats.backjumps += 1
                 self._backtrack(self._backjump_target(outcome))
                 learned = self._add_learned_clause(outcome.lits)
+                self._bind_learned(trace, False, outcome.lits)
                 if self._lit_value(outcome.assert_lit) is None:
                     self.stats.propagations += 1
                     self._assign(outcome.assert_lit, learned)
@@ -553,13 +603,24 @@ class QdpllSolver:
                 [r.constraint for r in self._orig_clauses], self._view, self._trail
             )
         if self.config.learn_cubes:
-            outcome = analyze_solution(cube_lits, self._view)
+            trace = None
+            if self._proof is not None:
+                if rec is not None:
+                    trace = self._proof.begin_cube(cube_lits)
+                else:
+                    trace = self._proof.begin_initial_cube(cube_lits)
+            outcome = analyze_solution(cube_lits, self._view, trace)
             if isinstance(outcome, Terminal):
+                if self._proof is not None:
+                    self._proof.conclude(
+                        "true", trace.final_id if trace is not None else None
+                    )
                 return Outcome.TRUE
             if isinstance(outcome, Backjump):
                 self.stats.backjumps += 1
                 self._backtrack(self._backjump_target(outcome))
                 learned = self._add_learned_cube(outcome.lits)
+                self._bind_learned(trace, True, outcome.lits)
                 if self._lit_value(outcome.assert_lit) is None:
                     self.stats.propagations += 1
                     self._assign(-outcome.assert_lit, learned)
@@ -569,6 +630,10 @@ class QdpllSolver:
         return None
 
 
-def solve(formula: QBF, config: Optional[SolverConfig] = None) -> SolveResult:
+def solve(
+    formula: QBF,
+    config: Optional[SolverConfig] = None,
+    proof: Optional[object] = None,
+) -> SolveResult:
     """Solve ``formula`` with a fresh engine; see :class:`SolverConfig`."""
-    return QdpllSolver(formula, config).solve()
+    return QdpllSolver(formula, config, proof=proof).solve()

@@ -50,6 +50,12 @@ STATUS_CRASH = "crash"
 STATUS_HARD_TIMEOUT = "hard-timeout"
 STATUS_DISAGREEMENT = "disagreement"
 
+#: results JSONL schema, in the ``schema`` field of every row. Version 1
+#: rows (no ``schema`` field) predate certification and still load; rows
+#: written by a *newer* schema than this module understands are skipped on
+#: load (the sweep simply re-runs those tasks) instead of crashing a resume.
+SCHEMA_VERSION = 2
+
 
 # -- serialization ------------------------------------------------------------
 #
@@ -87,6 +93,9 @@ def measurement_to_dict(m: Measurement) -> Dict[str, object]:
     }
     if m.stats is not None:
         out["stats"] = stats_to_dict(m.stats)
+    if m.certificate_status is not None:
+        out["certificate_status"] = m.certificate_status
+        out["certificate_ok"] = m.certificate_ok
     return out
 
 
@@ -101,6 +110,7 @@ def measurement_from_dict(data: Dict[str, object]) -> Measurement:
         learned_clauses=data.get("learned_clauses", 0),
         learned_cubes=data.get("learned_cubes", 0),
         stats=stats_from_dict(stats) if stats is not None else None,
+        certificate_status=data.get("certificate_status"),
     )
 
 
@@ -126,13 +136,23 @@ class Task:
     strategy: str = "eu_au"
     budget: Budget = Budget()
     overrides: Tuple[Tuple[str, object], ...] = ()
+    #: self-check the run: log the resolution proof and verify it against
+    #: the original formula (see :mod:`repro.certify`). Certified runs use
+    #: the certifying config (pure literals off), so their keys must not
+    #: collide with uncertified runs of the same instance.
+    certify: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("po", "to"):
             raise ValueError("unknown task mode %r" % (self.mode,))
 
     def fingerprint(self) -> str:
-        """Stable digest of everything that shapes the run besides the formula."""
+        """Stable digest of everything that shapes the run besides the formula.
+
+        ``certify`` enters the payload only when set, so fingerprints of
+        uncertified tasks — and therefore resume keys of every pre-existing
+        results file — are byte-identical to what older versions computed.
+        """
         payload = {
             "mode": self.mode,
             "strategy": self.strategy if self.mode == "to" else None,
@@ -140,6 +160,8 @@ class Task:
             "seconds": self.budget.seconds,
             "overrides": sorted(self.overrides),
         }
+        if self.certify:
+            payload["certify"] = True
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     @property
@@ -174,6 +196,7 @@ class Record:
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
             "instance": self.instance,
             "solver": self.solver,
             "fingerprint": self.fingerprint,
@@ -188,6 +211,11 @@ class Record:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Record":
+        schema = data.get("schema", 1)
+        if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+            # A newer writer knows fields this reader does not; pretending to
+            # understand the row could resurrect it with meaning stripped.
+            raise ValueError("unsupported results schema %r" % (schema,))
         m = data.get("measurement")
         return cls(
             instance=data["instance"],
@@ -220,10 +248,17 @@ def execute_task(task: Task) -> Measurement:
             task.instance,
             strategy=task.strategy,
             budget=task.budget,
+            certify=task.certify,
             **overrides
         )
     else:
-        m = solve_po(task.formula, task.instance, budget=task.budget, **overrides)
+        m = solve_po(
+            task.formula,
+            task.instance,
+            budget=task.budget,
+            certify=task.certify,
+            **overrides
+        )
     # The label is the task's business (DIA solves a pre-built prenex form in
     # "po" mode but records it as TO), so stamp it unconditionally.
     m.solver = task.solver
@@ -254,8 +289,10 @@ class ResultsLog:
                 try:
                     rec = Record.from_dict(json.loads(line))
                 except (ValueError, KeyError, TypeError):
-                    # A crash mid-append can tear the last line; skip it and
-                    # let the sweep re-run that one task.
+                    # A crash mid-append can tear the last line, and a newer
+                    # tool may have written rows in a schema this reader does
+                    # not understand; skip such rows and let the sweep re-run
+                    # those tasks.
                     continue
                 records[rec.key] = rec
         return records
@@ -566,13 +603,18 @@ def measurements_by_key(records: Iterable[Record]) -> Dict[Tuple[str, str], Meas
 
 
 def disagreement_record(exc: SolverDisagreement) -> Record:
-    """A first-class failure row for a TO/PO outcome mismatch."""
+    """A first-class failure row for a TO/PO outcome mismatch.
+
+    When certification has already decided which side holds the valid proof
+    (:attr:`SolverDisagreement.winner`), that measurement rides along on the
+    row, so the disagreement arrives pre-triaged in the results file.
+    """
     return Record(
         instance=exc.a.instance or exc.b.instance,
         solver="%s|%s" % (exc.a.solver, exc.b.solver),
         fingerprint="",
         status=STATUS_DISAGREEMENT,
-        measurement=None,
+        measurement=exc.winner,
         error=str(exc),
     )
 

@@ -132,6 +132,7 @@ def run_ncf(
     jobs: int = 1,
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
+    certify: bool = False,
 ) -> List[PairResult]:
     """Run QUBE(TO) under each strategy and QUBE(PO) on the NCF sweep."""
     tasks: List[Task] = []
@@ -141,9 +142,11 @@ def run_ncf(
             phi = generate_ncf(params)
             for s in strategies:
                 tasks.append(
-                    Task(params.label, "TO(%s)" % s, phi, "to", s, budget)
+                    Task(params.label, "TO(%s)" % s, phi, "to", s, budget,
+                         certify=certify)
                 )
-            tasks.append(Task(params.label, "PO", phi, "po", budget=budget))
+            tasks.append(Task(params.label, "PO", phi, "po", budget=budget,
+                              certify=certify))
             meta.append((params.label, setting))
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
@@ -189,14 +192,17 @@ def run_fpv(
     jobs: int = 1,
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
+    certify: bool = False,
 ) -> List[PairResult]:
     """Run the FPV suite with the ∃↑∀↑ strategy (the paper's choice)."""
     tasks: List[Task] = []
     labels: List[str] = []
     for params in fpv_instances(count):
         phi = generate_fpv(params)
-        tasks.append(Task(params.label, "TO(%s)" % strategy, phi, "to", strategy, budget))
-        tasks.append(Task(params.label, "PO", phi, "po", budget=budget))
+        tasks.append(Task(params.label, "TO(%s)" % strategy, phi, "to", strategy,
+                          budget, certify=certify))
+        tasks.append(Task(params.label, "PO", phi, "po", budget=budget,
+                          certify=certify))
         labels.append(params.label)
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
@@ -256,6 +262,7 @@ def run_dia(
     jobs: int = 1,
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
+    certify: bool = False,
 ) -> List[PairResult]:
     """Run TO/PO on every DIA instance (prenex form == equation (16))."""
     tasks: List[Task] = []
@@ -264,8 +271,9 @@ def run_dia(
         # The prenex form is built directly by the encoder (equation (16)),
         # so measure it as-is ("po" mode) rather than re-prenexing the tree;
         # the task's solver label records it as the TO side.
-        tasks.append(Task(label, "PO", tree, "po", budget=budget))
-        tasks.append(Task(label, "TO(eq16)", flat, "po", budget=budget))
+        tasks.append(Task(label, "PO", tree, "po", budget=budget, certify=certify))
+        tasks.append(Task(label, "TO(eq16)", flat, "po", budget=budget,
+                          certify=certify))
         labels.append(label)
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
@@ -392,6 +400,7 @@ def run_eval06(
     jobs: int = 1,
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
+    certify: bool = False,
 ) -> Tuple[List[PairResult], int]:
     """The Figure-7 pipeline: miniscope, filter by PO/TO ratio, compare.
 
@@ -409,8 +418,9 @@ def run_eval06(
         if structure_ratio(phi, tree) <= min_ratio:
             filtered_out += 1
             continue
-        tasks.append(Task(label, "TO(eu_au)", phi, "to", "eu_au", budget))
-        tasks.append(Task(label, "PO", tree, "po", budget=budget))
+        tasks.append(Task(label, "TO(eu_au)", phi, "to", "eu_au", budget,
+                          certify=certify))
+        tasks.append(Task(label, "PO", tree, "po", budget=budget, certify=certify))
         labels.append(label)
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)

@@ -1,8 +1,16 @@
 """Tests for outcome/statistics containers."""
 
+from dataclasses import fields
+
 import pytest
 
-from repro.core.result import BudgetExceeded, Outcome, SolveResult, SolverStats
+from repro.core.result import (
+    BudgetExceeded,
+    Outcome,
+    SolveResult,
+    SolverStats,
+    UnknownOutcomeError,
+)
 
 
 class TestOutcome:
@@ -14,6 +22,11 @@ class TestOutcome:
         with pytest.raises(ValueError):
             bool(Outcome.UNKNOWN)
 
+    def test_unknown_raises_typed_error_without_budget(self):
+        with pytest.raises(UnknownOutcomeError) as info:
+            bool(Outcome.UNKNOWN)
+        assert info.value.spent is None
+
     def test_values(self):
         assert Outcome("true") is Outcome.TRUE
         assert Outcome("unknown") is Outcome.UNKNOWN
@@ -23,6 +36,15 @@ class TestSolveResult:
     def test_value_property(self):
         assert SolveResult(Outcome.TRUE).value is True
         assert SolveResult(Outcome.FALSE).value is False
+
+    def test_unknown_value_carries_spent_budget(self):
+        result = SolveResult(Outcome.UNKNOWN, SolverStats(decisions=123))
+        with pytest.raises(UnknownOutcomeError) as info:
+            result.value
+        assert info.value.spent == 123
+        assert "123" in str(info.value)
+        # Backward compatibility: pre-existing ValueError guards still catch.
+        assert isinstance(info.value, ValueError)
 
     def test_timed_out(self):
         assert SolveResult(Outcome.UNKNOWN).timed_out
@@ -50,3 +72,26 @@ def test_budget_exceeded_records_spent():
     err = BudgetExceeded(42)
     assert err.spent == 42
     assert "42" in str(err)
+
+
+def test_every_stats_field_is_exercised_by_some_run():
+    """Guard against dead counters: each field must move in some real run.
+
+    The dead ``restarts`` field sat at zero forever before being removed;
+    this test fails the moment another counter exists that no solver run
+    ever touches.
+    """
+    from repro.core.formula import paper_example
+    from repro.core.solver import SolverConfig, solve
+    from repro.generators.ncf import NcfParams, generate_ncf
+
+    runs = [
+        solve(paper_example()),
+        solve(paper_example(), SolverConfig(learn_clauses=False, learn_cubes=False)),
+        solve(generate_ncf(NcfParams(dep=4, var=3, cls=9, lpc=4, seed=0))),
+        solve(generate_ncf(NcfParams(dep=4, var=3, cls=6, lpc=4, seed=1))),
+    ]
+    for f in fields(SolverStats):
+        assert any(
+            getattr(r.stats, f.name) > 0 for r in runs
+        ), "SolverStats.%s is never exercised" % f.name
