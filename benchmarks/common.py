@@ -15,6 +15,9 @@ Environment knobs (all optional):
   a solver change can never be contaminated by stale records.
 * ``REPRO_HARD_TIMEOUT=seconds`` — hard per-run cap, enforced by killing
   the worker (only effective with ``REPRO_JOBS > 1``).
+* ``REPRO_ENGINE=counters|watched`` — propagation backend for every suite
+  run. Decision counts are engine-independent by contract, so recorded
+  artefacts are comparable across engines; only wall-clock moves.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 import os
 from typing import List, Optional
 
+from repro.core.solver import default_engine
 from repro.evalx.runner import Budget
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -46,10 +50,11 @@ DIA_MAX_N = 6
 JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 HARD_TIMEOUT_SECONDS = float(os.environ.get("REPRO_HARD_TIMEOUT", "120"))
 RESULTS_JSONL_DIR: Optional[str] = os.environ.get("REPRO_RESULTS_DIR")
+ENGINE = default_engine()
 
 
 def suite_run_options(suite: str) -> dict:
-    """jobs/results_path/wall_timeout kwargs for one suite's run_* call."""
+    """jobs/results_path/wall_timeout/engine kwargs for one run_* call."""
     results_path = None
     if RESULTS_JSONL_DIR:
         os.makedirs(RESULTS_JSONL_DIR, exist_ok=True)
@@ -58,6 +63,7 @@ def suite_run_options(suite: str) -> dict:
         "jobs": JOBS,
         "results_path": results_path,
         "wall_timeout": HARD_TIMEOUT_SECONDS if JOBS > 1 else None,
+        "engine": ENGINE,
     }
 
 

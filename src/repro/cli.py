@@ -39,7 +39,7 @@ from typing import Optional
 
 from repro.core.formula import QBF
 from repro.core.result import Outcome
-from repro.core.solver import SolverConfig, solve
+from repro.core.solver import ENGINES, SolverConfig, default_engine, solve
 from repro.generators.fpv import FpvParams, generate_fpv
 from repro.generators.ncf import NcfParams, generate_ncf
 from repro.io import qdimacs, qtree
@@ -76,14 +76,18 @@ def cmd_solve(args: argparse.Namespace) -> int:
         pure_literals=not args.no_pure,
         max_decisions=args.max_decisions,
         max_seconds=args.max_seconds,
+        engine=args.engine,
     )
     result = solve(phi, config)
     stats = result.stats
     print("result      %s" % result.outcome.value.upper())
+    print("engine      %s" % config.engine)
     print("decisions   %d" % stats.decisions)
     print("conflicts   %d" % stats.conflicts)
     print("solutions   %d" % stats.solutions)
     print("learned     %d nogoods, %d goods" % (stats.learned_clauses, stats.learned_cubes))
+    print("visits      %d clause, %d cube (%d watcher swaps)"
+          % (stats.clause_visits, stats.cube_visits, stats.watcher_swaps))
     print("time        %.3fs" % result.seconds)
     if result.outcome is Outcome.UNKNOWN:
         return 2
@@ -136,6 +140,7 @@ def cmd_evalx_run(args: argparse.Namespace) -> int:
         results_path=args.results,
         wall_timeout=args.wall_timeout,
         certify=args.certify,
+        engine=args.engine,
     )
     filtered_out = None
     if args.suite == "ncf":
@@ -217,7 +222,11 @@ def cmd_certify_emit(args: argparse.Namespace) -> int:
     phi = _read(args.input)
     solved = prenex(phi, args.strategy) if args.to else phi
     config = certifying_config(
-        SolverConfig(max_decisions=args.max_decisions, max_seconds=args.max_seconds)
+        SolverConfig(
+            max_decisions=args.max_decisions,
+            max_seconds=args.max_seconds,
+            engine=args.engine,
+        )
     )
     with JsonlSink(args.output) as sink:
         logger = ProofLogger(sink)
@@ -284,6 +293,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--policy", default="levelsub")
     p_solve.add_argument("--no-learning", action="store_true")
     p_solve.add_argument("--no-pure", action="store_true")
+    p_solve.add_argument(
+        "--engine", default=default_engine(), choices=ENGINES,
+        help="propagation backend; decision-for-decision identical, only "
+        "the speed differs (default: $REPRO_ENGINE or counters)",
+    )
     p_solve.add_argument("--max-decisions", type=int, default=None)
     p_solve.add_argument("--max-seconds", type=float, default=None)
     p_solve.set_defaults(func=cmd_solve)
@@ -330,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_emit.add_argument("--max-seconds", type=float, default=None)
     p_emit.add_argument("--no-check", action="store_true",
                         help="skip the self-check after emitting")
+    p_emit.add_argument("--engine", default=default_engine(), choices=ENGINES,
+                        help="propagation backend (certificates are "
+                        "engine-independent; both must emit the same proof)")
     p_emit.set_defaults(func=cmd_certify_emit)
     p_check = cert_sub.add_parser(
         "check", help="verify a certificate against a formula, solver not involved"
@@ -379,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="log and self-check a resolution proof for every run "
         "(pure literals are disabled on certified runs); exits nonzero "
         "if any certificate is invalid",
+    )
+    p_run.add_argument(
+        "--engine", default=default_engine(), choices=ENGINES,
+        help="propagation backend for every run in the sweep; a non-default "
+        "choice lands in the task fingerprints, so results files keyed on "
+        "the default stay resumable (default: $REPRO_ENGINE or counters)",
     )
     p_run.set_defaults(func=cmd_evalx_run)
 

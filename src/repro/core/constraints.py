@@ -65,6 +65,30 @@ class Constraint:
         return "%s(%s)" % (shape, " ".join(map(str, self.lits)))
 
 
+def sanitize_lits(lits: Iterable[int]) -> Optional[Tuple[int, ...]]:
+    """Drop duplicate literals; return None for a same-clause tautology.
+
+    The permissive counterpart of :func:`~repro.core.literals.
+    check_no_duplicate_vars`: instead of rejecting raw input that mentions a
+    variable twice, it deduplicates repeated literals and reports a clause
+    that contains ``v`` and ``-v`` as ``None`` (such a clause is valid in
+    every assignment, so a reader or an engine installing a matrix can
+    simply skip it; dually, such a *cube* is unsatisfiable and can be
+    skipped by anything that stores cubes disjunctively). Order of first
+    occurrence is preserved; canonicalization stays the constructor's job.
+    """
+    out = []
+    seen = set()
+    for lit in lits:
+        if lit in seen:
+            continue
+        if -lit in seen:
+            return None
+        seen.add(lit)
+        out.append(lit)
+    return tuple(out)
+
+
 class Clause(Constraint):
     """A disjunction of literals (a *nogood* when learned)."""
 

@@ -1,0 +1,45 @@
+"""The layered QDPLL engine.
+
+Three layers, each behind an explicit seam:
+
+* :mod:`~repro.core.engine.trail` — the assignment/trail layer, the only
+  mutable search state;
+* :mod:`~repro.core.engine.backend` + the two implementations
+  (:mod:`~repro.core.engine.counters`, :mod:`~repro.core.engine.watched`) —
+  the propagation backends, decision-for-decision interchangeable;
+* :mod:`~repro.core.engine.search` — decide/backjump/learn over the
+  backend interface.
+
+:class:`repro.core.solver.QdpllSolver` is the façade that assembles them.
+"""
+
+from repro.core.engine.backend import (
+    CONFLICT,
+    MODEL,
+    PURE,
+    SOLUTION,
+    PropagationBackend,
+    Rec,
+)
+from repro.core.engine.config import ENGINES, SolverConfig, default_engine
+from repro.core.engine.counters import CounterBackend
+from repro.core.engine.search import BACKENDS, SearchEngine
+from repro.core.engine.trail import Trail
+from repro.core.engine.watched import WatchedBackend
+
+__all__ = [
+    "BACKENDS",
+    "CONFLICT",
+    "CounterBackend",
+    "ENGINES",
+    "MODEL",
+    "PURE",
+    "PropagationBackend",
+    "Rec",
+    "SOLUTION",
+    "SearchEngine",
+    "SolverConfig",
+    "Trail",
+    "WatchedBackend",
+    "default_engine",
+]

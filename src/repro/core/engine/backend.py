@@ -1,0 +1,310 @@
+"""Propagation backends: the interface and the shared machinery.
+
+A backend owns everything derived from the matrix — occurrence lists,
+satisfaction counters or watch memos, the learned-constraint stores — and
+exposes four operations to the search layer: ``assign``, ``backtrack``,
+``propagate`` and ``add_learned_clause``/``add_learned_cube``. The search
+layer never looks past this interface.
+
+**The equivalence contract.** Every backend must be *decision-for-decision
+identical* to the reference counter backend: same trail, in the same order,
+with the same reasons, the same conflict/solution/model events on the same
+constraint records, and the same learned constraints — given the same
+formula, config and heuristic tie-breaks. Backends may only differ in the
+*cost* of reaching those events (tracked by the ``clause_visits``,
+``cube_visits`` and ``watcher_swaps`` stats, which are explicitly
+backend-dependent). The contract is what makes the old backend a free
+differential-testing oracle for any new one.
+
+The contract is stricter than it may look: conflicts and units must fire
+while scanning the occurrence list of the *currently dequeued* literal, in
+installation order, under eager value semantics (assignments made mid-scan
+are visible to later records in the same scan). See
+:mod:`repro.core.engine.watched` for what that rules out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.constraints import (
+    Clause,
+    Constraint,
+    Cube,
+    sanitize_lits,
+    universal_reduce,
+)
+from repro.core.literals import var_of
+
+#: sentinel reason for pure-literal assignments (decision-like in analyses).
+PURE = object()
+
+CONFLICT = "conflict"
+SOLUTION = "solution"
+MODEL = "model"
+
+
+class Rec:
+    """Backend-private record of one clause or cube.
+
+    ``n_true``/``n_false`` are the eager satisfaction counters (live under
+    the counter backend, and under the watched backend only as the
+    pure-literal sidecar). ``w1``/``w2``/``blocker`` are the watched
+    backend's lazy memos; the counter backend never touches them.
+    """
+
+    __slots__ = ("constraint", "n_true", "n_false", "original", "w1", "w2", "blocker")
+
+    def __init__(self, constraint: Constraint, original: bool):
+        self.constraint = constraint
+        self.n_true = 0
+        self.n_false = 0
+        self.original = original
+        self.w1 = 0
+        self.w2 = 0
+        self.blocker = 0
+
+    @property
+    def lits(self) -> Tuple[int, ...]:
+        return self.constraint.lits
+
+    @property
+    def is_cube(self) -> bool:
+        return self.constraint.is_cube
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Rec(%r, T=%d, F=%d)" % (self.constraint, self.n_true, self.n_false)
+
+
+class PropagationBackend:
+    """Base class: matrix installation, the duality-parameterized examine,
+    the pure-literal rule, and the learned-constraint bookkeeping."""
+
+    name = "?"
+    #: True when :meth:`_examine` should refresh the record's watch memos.
+    refreshes_watches = False
+
+    def __init__(self, formula, prefix, config, stats, trail, keeper):
+        self.formula = formula
+        self.prefix = prefix
+        self.config = config
+        self.stats = stats
+        self.trail = trail
+        self.keeper = keeper
+        self._lit_value = trail.lit_value
+        self._track_pure = config.pure_literals
+        self.clause_occ: Dict[int, List[Rec]] = {}
+        self.cube_occ: Dict[int, List[Rec]] = {}
+        self.occ_unsat: Dict[int, int] = {}
+        self.cube_count: Dict[int, int] = {}
+        for v in prefix.variables:
+            for lit in (v, -v):
+                self.clause_occ[lit] = []
+                self.cube_occ[lit] = []
+                self.occ_unsat[lit] = 0
+                self.cube_count[lit] = 0
+        self.orig_clauses: List[Rec] = []
+        self.learned_clauses: Dict[Tuple[int, ...], Rec] = {}
+        self.learned_cubes: Dict[Tuple[int, ...], Rec] = {}
+        self.n_unsat_orig = 0
+        self.pure_candidates: Set[int] = set()
+        self.trivially_false = False
+        self.install_matrix()
+
+    # -- setup ---------------------------------------------------------------
+
+    def install_matrix(self) -> None:
+        """Install the matrix: sanitize, universally reduce, deduplicate.
+
+        Sanitization handles raw input once, here, so no per-propagation
+        code ever has to: duplicate literals within a clause are dropped and
+        a same-clause tautology (``v`` and ``-v``) skips the whole clause —
+        it is satisfied by every assignment, so installing it would only
+        slow propagation down (canonical :class:`Clause` inputs are already
+        clean; this covers duck-typed clauses and tolerant readers).
+        """
+        seen: Set[Tuple[int, ...]] = set()
+        for clause in self.formula.clauses:
+            lits = sanitize_lits(clause.lits)
+            if lits is None:
+                continue  # tautological: true in every assignment
+            # Canonical clause order (a no-op for Clause inputs, which are
+            # already sorted) so the duplicate check below sees raw clauses
+            # that differ only in literal order as equal.
+            lits = tuple(sorted(lits, key=lambda l: (var_of(l), l)))
+            reduced = universal_reduce(lits, self.prefix)
+            if not reduced:
+                self.trivially_false = True
+                return
+            if reduced in seen:
+                continue
+            seen.add(reduced)
+            rec = Rec(Clause(reduced), original=True)
+            self.orig_clauses.append(rec)
+            self._install_clause(rec)
+        self.n_unsat_orig = len(self.orig_clauses)
+        self.keeper.bump_initial([r.lits for r in self.orig_clauses])
+        self.pure_candidates.update(self.prefix.variables)
+
+    def _install_clause(self, rec: Rec) -> None:
+        raise NotImplementedError
+
+    # -- the backend interface ------------------------------------------------
+
+    def assign(self, lit: int, reason: object) -> None:
+        raise NotImplementedError
+
+    def backtrack(self, to_level: int) -> None:
+        raise NotImplementedError
+
+    def propagate(self) -> Optional[Tuple[str, object]]:
+        raise NotImplementedError
+
+    def _install_learned_clause(self, rec: Rec) -> None:
+        raise NotImplementedError
+
+    def _install_learned_cube(self, rec: Rec) -> None:
+        raise NotImplementedError
+
+    def add_learned_clause(self, lits: Tuple[int, ...]) -> Rec:
+        rec = self.learned_clauses.get(lits)
+        if rec is not None:
+            return rec
+        rec = Rec(Clause(lits, learned=True), original=False)
+        self.learned_clauses[lits] = rec
+        self._install_learned_clause(rec)
+        self.stats.learned_clauses += 1
+        self.stats.learned_clause_lits += len(lits)
+        self.keeper.on_learned(lits)
+        return rec
+
+    def add_learned_cube(self, lits: Tuple[int, ...]) -> Rec:
+        rec = self.learned_cubes.get(lits)
+        if rec is not None:
+            return rec
+        rec = Rec(Cube(lits, learned=True), original=False)
+        self.learned_cubes[lits] = rec
+        self._install_learned_cube(rec)
+        self.stats.learned_cubes += 1
+        self.stats.learned_cube_lits += len(lits)
+        self.keeper.on_learned(lits)
+        return rec
+
+    # -- the examine routine ----------------------------------------------------
+
+    def _examine(self, rec: Rec, is_cube: bool) -> Optional[Tuple[str, object]]:
+        """One full-body scan: Lemmas 4/5 for clauses, their duals for cubes.
+
+        A clause conflicts with no unassigned existential left and
+        propagates its single unassigned existential ``e`` when no
+        unassigned universal precedes ``e``; a cube triggers a solution with
+        no unassigned universal left and propagates (the negation of) its
+        single unassigned universal ``u`` when no unassigned existential
+        precedes ``u``. One routine covers both by picking the *primary*
+        quantifier (existential for clauses, universal for cubes) and the
+        *defusing* value (a true literal satisfies a clause; a false literal
+        kills a cube).
+
+        Self-guarding: a defused constraint returns None immediately (the
+        counter backend pre-guards with its eager counters, so the bail is
+        only ever taken by lazy backends). When ``refreshes_watches`` is
+        set, the scan re-aims the record's watch memos at the first two
+        unassigned primaries it saw.
+        """
+        prefix = self.prefix
+        value = self._lit_value
+        if is_cube:
+            self.stats.cube_visits += 1
+            primary_is = prefix.is_universal
+            defused = False
+        else:
+            self.stats.clause_visits += 1
+            primary_is = prefix.is_existential
+            defused = True
+        unassigned_p: List[int] = []
+        unassigned_s: List[int] = []
+        for lit in rec.lits:
+            val = value(lit)
+            if val is None:
+                if primary_is(lit):
+                    unassigned_p.append(lit)
+                else:
+                    unassigned_s.append(lit)
+            elif val is defused:
+                rec.blocker = lit
+                return None
+        if self.refreshes_watches and unassigned_p:
+            w1 = unassigned_p[0]
+            w2 = unassigned_p[1] if len(unassigned_p) > 1 else 0
+            if w1 != rec.w1 or w2 != rec.w2:
+                rec.w1 = w1
+                rec.w2 = w2
+                self.stats.watcher_swaps += 1
+        if not unassigned_p:
+            return (SOLUTION if is_cube else CONFLICT, rec)
+        if len(unassigned_p) == 1:
+            p = unassigned_p[0]
+            if all(not prefix.prec(s, p) for s in unassigned_s):
+                self.stats.propagations += 1
+                self.assign(-p if is_cube else p, rec)
+        return None
+
+    # -- sidecar bookkeeping (occ_unsat / purity candidates) ---------------------
+
+    def _on_clause_sat(self, rec: Rec) -> None:
+        if rec.original:
+            self.n_unsat_orig -= 1
+        occ_unsat = self.occ_unsat
+        for lit in rec.lits:
+            occ_unsat[lit] -= 1
+            if occ_unsat[lit] == 0:
+                self.pure_candidates.add(var_of(lit))
+
+    def _on_clause_unsat(self, rec: Rec) -> None:
+        if rec.original:
+            self.n_unsat_orig += 1
+        for lit in rec.lits:
+            self.occ_unsat[lit] += 1
+
+    # -- the pure-literal rule ---------------------------------------------------
+
+    def apply_pure_literals(self) -> bool:
+        """Assign currently pure literals; True when anything was assigned.
+
+        Existential rule: assign ``l`` when ``l̄`` occurs in no unsatisfied
+        clause. Universal rule: assign ``l`` when ``l`` itself occurs in no
+        unsatisfied clause. Both additionally require that the assigned
+        literal occurs in no *live* learned cube (one not yet killed by a
+        false literal) — the guard against the monotone-literal/learning
+        interaction analysed in [24]: a pure assignment must never be able
+        to turn a learned good true out of prefix order. Cubes already dead
+        on this branch cannot become true, so they do not block purity.
+
+        Counter-driven by design: the rule reads the ``occ_unsat`` index
+        and the cubes' ``n_false`` sidecar, which every backend maintains
+        whenever ``config.pure_literals`` is on.
+        """
+        from repro.core.literals import EXISTS
+
+        assigned = False
+        candidates = sorted(self.pure_candidates)
+        self.pure_candidates.clear()
+        value = self.trail.value
+        for v in candidates:
+            if value[v] != 0:
+                continue
+            if self.prefix.quant(v) is EXISTS:
+                options = [l for l in (v, -v) if self.occ_unsat[-l] == 0]
+            else:
+                options = [l for l in (v, -v) if self.occ_unsat[l] == 0]
+            options = [
+                l
+                for l in options
+                if self.cube_count[l] == 0
+                or all(rec.n_false > 0 for rec in self.cube_occ[l])
+            ]
+            if options:
+                self.stats.pure_literals += 1
+                self.assign(options[0], PURE)
+                assigned = True
+        return assigned

@@ -1,0 +1,69 @@
+"""Engine configuration: feature switches plus propagation-backend choice.
+
+``SolverConfig`` historically lived in :mod:`repro.core.solver`; it moved
+here when the monolithic solver was split into layers, because both the
+search layer and the propagation backends consume it. The old import path
+re-exports it, so existing code and serialized configs keep working.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.heuristics import POLICIES
+
+#: the propagation backends an engine can be built on. "counters" is the
+#: original eager occurrence-counter scheme; "watched" is the lazy
+#: prefix-aware watched-literal scheme. Both are decision-for-decision
+#: identical — see repro.core.engine.backend for the contract.
+ENGINES = ("counters", "watched")
+
+
+def default_engine() -> str:
+    """Backend default: the REPRO_ENGINE environment knob, else counters.
+
+    The environment hook exists so a whole test suite or benchmark run can
+    be flipped onto the watched backend without touching call sites (the CI
+    matrix runs one leg with ``REPRO_ENGINE=watched``). Recorded sweeps
+    should pass ``engine=...`` explicitly instead, so the choice lands in
+    the task fingerprint.
+    """
+    return os.environ.get("REPRO_ENGINE", "counters")
+
+
+@dataclass
+class SolverConfig:
+    """Feature switches of one engine instance.
+
+    The defaults model the full QUBE(PO); the ablation benchmarks toggle the
+    individual switches.
+    """
+
+    #: branching policy: "levelsub" (prefix position first, then the
+    #: Section VI subtree score — the reproduction's QUBE(PO) default),
+    #: "subtree" (the pure Section VI score formula), "counter" (plain
+    #: VSIDS-like, tree-blind ranking), or "naive" (lowest id).
+    policy: str = "levelsub"
+    learn_clauses: bool = True
+    learn_cubes: bool = True
+    pure_literals: bool = True
+    #: backtrack target for asserting constraints: "assert" jumps to the
+    #: classical asserting level, "shallow" to the least destructive level
+    #: at which the learned constraint is still unit.
+    backjump: str = "assert"
+    max_decisions: Optional[int] = None
+    max_seconds: Optional[float] = None
+    decay_interval: int = 64
+    #: propagation backend (see ENGINES). Purely an implementation choice:
+    #: every backend must produce the same decisions, trail and outcome.
+    engine: str = field(default_factory=default_engine)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError("unknown policy %r" % (self.policy,))
+        if self.backjump not in ("assert", "shallow"):
+            raise ValueError("unknown backjump mode %r" % (self.backjump,))
+        if self.engine not in ENGINES:
+            raise ValueError("unknown engine %r (choose from %s)" % (self.engine, ENGINES))

@@ -1,0 +1,139 @@
+"""The eager occurrence-counter propagation backend (the reference).
+
+This is the original QUBE-style scheme, moved behind the backend interface
+unchanged: every record keeps live ``n_true``/``n_false`` counters, updated
+by walking all four occurrence lists of a literal at assignment time and
+reversed symmetrically at backtrack time. Propagation dequeues a trail
+literal and examines every clause in which it occurs negatively (skipping
+satisfied ones via ``n_true``) and every live learned cube in which it
+occurs positively (skipping dead ones via ``n_false``).
+
+The scheme is simple and its counters double as the pure-literal index, but
+the eager walks make ``assign``/``backtrack`` cost O(occurrences) even for
+literals that never trigger anything — the cost profile the watched backend
+removes. This backend is the semantic reference that defines the
+equivalence contract (see :mod:`repro.core.engine.backend`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.engine.backend import MODEL, PropagationBackend, Rec
+from repro.core.literals import var_of
+
+
+class CounterBackend(PropagationBackend):
+    """Eager counters over full occurrence lists."""
+
+    name = "counters"
+
+    def _install_clause(self, rec: Rec) -> None:
+        for lit in rec.lits:
+            self.clause_occ[lit].append(rec)
+            self.occ_unsat[lit] += 1
+
+    def assign(self, lit: int, reason: object) -> None:
+        trail = self.trail
+        trail.push(lit, reason)
+        # Counters are maintained eagerly (at assignment, not at dequeue) so
+        # that backtrack can reverse them uniformly even when the
+        # propagation queue still holds unprocessed literals.
+        for rec in self.clause_occ[lit]:
+            rec.n_true += 1
+            if rec.n_true == 1:
+                self._on_clause_sat(rec)
+        for rec in self.clause_occ[-lit]:
+            rec.n_false += 1
+        for rec in self.cube_occ[-lit]:
+            rec.n_false += 1
+        for rec in self.cube_occ[lit]:
+            rec.n_true += 1
+        if len(trail.lits) > self.stats.max_trail:
+            self.stats.max_trail = len(trail.lits)
+
+    def backtrack(self, to_level: int) -> None:
+        trail = self.trail
+        target = trail.level_start[to_level + 1]
+        value = trail.value
+        reason = trail.reason
+        for lit in reversed(trail.lits[target:]):
+            v = var_of(lit)
+            value[v] = 0
+            reason[v] = None
+            # A variable that becomes unassigned may be pure in the restored
+            # state (its candidacy was consumed further down this branch,
+            # possibly while it was assigned and hence skipped by
+            # apply_pure_literals). Purity only has to be re-examined for
+            # exactly these variables: for a variable that stayed unassigned
+            # through the dive, failing the purity test deeper implies
+            # failing it in every ancestor state, since unassigning can only
+            # add unsatisfied occurrences and revive learned cubes.
+            self.pure_candidates.add(v)
+            for rec in self.clause_occ[lit]:
+                rec.n_true -= 1
+                if rec.n_true == 0:
+                    self._on_clause_unsat(rec)
+            for rec in self.clause_occ[-lit]:
+                rec.n_false -= 1
+            for rec in self.cube_occ[-lit]:
+                rec.n_false -= 1
+            for rec in self.cube_occ[lit]:
+                rec.n_true -= 1
+        trail.shrink(to_level, target)
+
+    def propagate(self) -> Optional[Tuple[str, object]]:
+        """Run propagation + pure literals to fixpoint.
+
+        Returns None (keep searching), a conflict, a solution triggered by a
+        learned cube, or a *model* (every matrix clause satisfied).
+        """
+        trail = self.trail
+        examine = self._examine
+        while True:
+            while trail.queue_head < len(trail.lits):
+                lit = trail.lits[trail.queue_head]
+                trail.queue_head += 1
+                for rec in self.clause_occ[-lit]:
+                    if rec.n_true == 0:
+                        event = examine(rec, False)
+                        if event is not None:
+                            return event
+                for rec in self.cube_occ[lit]:
+                    if rec.n_false == 0:
+                        event = examine(rec, True)
+                        if event is not None:
+                            return event
+            if self.n_unsat_orig == 0:
+                return (MODEL, None)
+            if self.config.pure_literals and self.apply_pure_literals():
+                continue
+            return None
+
+    def _install_learned_clause(self, rec: Rec) -> None:
+        sat = False
+        for lit in rec.lits:
+            self.clause_occ[lit].append(rec)
+            val = self._lit_value(lit)
+            if val is True:
+                rec.n_true += 1
+                sat = True
+            elif val is False:
+                rec.n_false += 1
+        if not sat:
+            for lit in rec.lits:
+                self.occ_unsat[lit] += 1
+        else:
+            # keep the unsat-occurrence invariant: a satisfied clause does
+            # not contribute, so nothing to add.
+            pass
+
+    def _install_learned_cube(self, rec: Rec) -> None:
+        for lit in rec.lits:
+            self.cube_occ[lit].append(rec)
+            self.cube_count[lit] += 1
+            val = self._lit_value(lit)
+            if val is True:
+                rec.n_true += 1
+            elif val is False:
+                rec.n_false += 1

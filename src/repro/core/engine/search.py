@@ -1,0 +1,300 @@
+"""The search layer: decide, backjump, learn — over the backend interface.
+
+:class:`SearchEngine` owns the trail, the branching heuristic state and the
+statistics, and talks to the matrix exclusively through a
+:class:`~repro.core.engine.backend.PropagationBackend`. It implements the
+outer QDPLL loop (propagate → decide / analyze → backjump or flip), the
+budget accounting and the certificate hooks; everything it knows about
+clauses and cubes arrives as opaque records from the backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.constraints import Constraint
+from repro.core.engine.backend import CONFLICT, PropagationBackend, Rec
+from repro.core.engine.config import SolverConfig
+from repro.core.engine.counters import CounterBackend
+from repro.core.engine.trail import Trail
+from repro.core.engine.watched import WatchedBackend
+from repro.core.formula import QBF
+from repro.core.heuristics import ScoreKeeper, pick_literal
+from repro.core.learning import (
+    Backjump,
+    Terminal,
+    TrailView,
+    analyze_conflict,
+    analyze_solution,
+    build_model_cube,
+)
+from repro.core.literals import EXISTS, FORALL
+from repro.core.result import Outcome, SolveResult, SolverStats
+
+#: name → class, the registry behind ``SolverConfig.engine``.
+BACKENDS = {
+    CounterBackend.name: CounterBackend,
+    WatchedBackend.name: WatchedBackend,
+}
+
+
+class SearchEngine:
+    """One solving session over a fixed QBF. Use :func:`solve` for one-shots.
+
+    ``proof`` optionally attaches a :class:`repro.certify.proof.ProofLogger`
+    that records the run's implicit clause/term resolution derivation as a
+    machine-checkable certificate. Logging is passive — decisions,
+    assignments and learned constraints are identical with and without it —
+    and with ``proof=None`` every hook short-circuits on an ``is None``
+    test, so the disabled cost is zero.
+    """
+
+    #: test hook: a PropagationBackend subclass pinned by a test; when set,
+    #: it wins over the ``config.engine`` registry lookup.
+    backend_override: Optional[type] = None
+
+    def __init__(
+        self,
+        formula: QBF,
+        config: Optional[SolverConfig] = None,
+        proof: Optional[object] = None,
+    ):
+        self.formula = formula
+        self.config = config or SolverConfig()
+        self._proof = proof
+        self.prefix = formula.prefix
+        self.stats = SolverStats()
+        nv = max(self.prefix.variables, default=0)
+        self.trail = Trail(nv)
+        self._lit_value = self.trail.lit_value
+        self._keeper = ScoreKeeper(self.prefix, decay_interval=self.config.decay_interval)
+        backend_cls = self.backend_override or BACKENDS[self.config.engine]
+        self.backend: PropagationBackend = backend_cls(
+            formula, self.prefix, self.config, self.stats, self.trail, self._keeper
+        )
+        if self._proof is not None:
+            self._proof.register_formula(formula)
+        self._view = TrailView(
+            value=self._lit_value,
+            level_of=lambda v: self.trail.level[v],
+            pos_of=lambda v: self.trail.pos[v],
+            reason_of=self._reason_constraint,
+            prefix=self.prefix,
+        )
+        self._deadline: Optional[float] = None
+
+    # -- trail accessors -------------------------------------------------------
+
+    @property
+    def current_level(self) -> int:
+        return self.trail.current_level
+
+    def _reason_constraint(self, var: int) -> Optional[Constraint]:
+        reason = self.trail.reason[var]
+        if isinstance(reason, Rec):
+            return reason.constraint
+        return None
+
+    # -- decisions ----------------------------------------------------------------
+
+    def _available_vars(self) -> List[int]:
+        """Unassigned variables whose ``≺`` predecessors are all assigned.
+
+        A variable is *top* in the current subproblem iff no unassigned
+        variable of a strictly lower alternation level sits above it in the
+        tree. The walk carries two flags: pending variables in ancestors of
+        strictly lower level (blocks them) and pending variables in
+        ancestors of the same level (blocks only deeper levels).
+        """
+        out: List[int] = []
+        value = self.trail.value
+
+        def visit(block, pending_lt: bool, pending_eq: bool) -> None:
+            pending_here = False
+            for v in block.variables:
+                if value[v] == 0:
+                    pending_here = True
+                    if not pending_lt:
+                        out.append(v)
+            for child in block.children:
+                if child.level == block.level:
+                    visit(child, pending_lt, pending_eq or pending_here)
+                else:
+                    visit(child, pending_lt or pending_eq or pending_here, False)
+
+        visit(self.prefix.root, False, False)
+        return out
+
+    def _decide(self) -> bool:
+        """Branch on a heuristic literal; False when no variable remains."""
+        available = self._available_vars()
+        lit = pick_literal(self.config.policy, self._keeper, available)
+        if lit is None:
+            return False
+        self.stats.decisions += 1
+        self.trail.open_level(lit, flipped=False)
+        self.backend.assign(lit, None)
+        return True
+
+    def _flip_chronological(self, want: object) -> bool:
+        """Chronological fallback: flip the deepest unflipped ``want`` decision.
+
+        ``want`` is EXISTS after a conflict and FORALL after a solution.
+        Returns False when no such decision exists (search exhausted).
+        """
+        self.stats.chrono_backtracks += 1
+        for lvl in range(self.current_level, 0, -1):
+            lit, flipped = self.trail.decision[lvl]
+            if not flipped and self.prefix.quant(lit) is want:
+                self.backend.backtrack(lvl - 1)
+                self.trail.open_level(-lit, flipped=True)
+                self.backend.assign(-lit, None)
+                return True
+        return False
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def solve(self) -> SolveResult:
+        """Run the search to completion or budget exhaustion."""
+        start = time.monotonic()
+        if self.config.max_seconds is not None:
+            self._deadline = start + self.config.max_seconds
+        outcome = self._run()
+        if self._proof is not None and not self._proof.concluded:
+            # A verdict that never passed through a Terminal analysis:
+            # budget exhaustion, or search exhausted by chronological flips
+            # alone. Conclude honestly with no backing derivation.
+            reason = (
+                "budget exhausted"
+                if outcome is Outcome.UNKNOWN
+                else "verdict reached by chronological exhaustion"
+            )
+            self._proof.conclude(outcome.value, None, reason=reason)
+        return SolveResult(outcome, self.stats, time.monotonic() - start)
+
+    def _budget_exhausted(self) -> bool:
+        cfg = self.config
+        if cfg.max_decisions is not None:
+            if self.stats.decisions >= cfg.max_decisions:
+                return True
+            # Safety net: backjump/propagation loops that make no decisions
+            # still burn backtracks; bound them by a generous multiple so a
+            # budgeted run can never spin forever.
+            if self.stats.backtracks >= 32 * cfg.max_decisions + 1024:
+                return True
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return True
+        return False
+
+    def _run(self) -> Outcome:
+        backend = self.backend
+        if backend.trivially_false:
+            if self._proof is not None:
+                # register_formula logged the clause whose reduction is
+                # empty; it is the whole refutation.
+                self._proof.conclude("false", self._proof.lookup(False, ()))
+            return Outcome.FALSE
+        if not backend.orig_clauses:
+            if self._proof is not None:
+                # Empty matrix: the empty cube vacuously satisfies it.
+                self._proof.conclude("true", self._proof.initial_cube(()))
+            return Outcome.TRUE
+        while True:
+            event = backend.propagate()
+            if event is None:
+                if self._budget_exhausted():
+                    return Outcome.UNKNOWN
+                if not self._decide():
+                    # Every variable assigned without conflict: all clauses
+                    # are satisfied, which propagate reports as a model.
+                    raise AssertionError("decision requested with no variables left")
+                continue
+            kind, payload = event
+            if kind == CONFLICT:
+                self.stats.conflicts += 1
+                verdict = self._handle_conflict(payload)
+            else:
+                self.stats.solutions += 1
+                verdict = self._handle_solution(payload)
+            if verdict is not None:
+                return verdict
+            if self._budget_exhausted():
+                return Outcome.UNKNOWN
+
+    # -- analysis plumbing ----------------------------------------------------------
+
+    def _backjump_target(self, outcome: Backjump) -> int:
+        if self.config.backjump == "shallow":
+            return outcome.shallow_level
+        return outcome.level
+
+    def _bind_learned(self, trace: Optional[object], is_cube: bool, lits: Tuple[int, ...]) -> None:
+        """Name a learned constraint after its derivation's final step."""
+        if trace is None or not trace.ok:
+            return
+        if trace.cur_lits == lits:
+            self._proof.bind(is_cube, lits, trace.cur_id)
+        else:  # pragma: no cover - trace desync would be a logger bug
+            trace.fail("learned constraint does not match its derivation")
+
+    def _handle_conflict(self, rec: Rec) -> Optional[Outcome]:
+        if self.config.learn_clauses:
+            trace = None
+            if self._proof is not None:
+                trace = self._proof.begin_clause(rec.lits)
+            outcome = analyze_conflict(rec.lits, self._view, trace)
+            if isinstance(outcome, Terminal):
+                if self._proof is not None:
+                    self._proof.conclude(
+                        "false", trace.final_id if trace is not None else None
+                    )
+                return Outcome.FALSE
+            if isinstance(outcome, Backjump):
+                self.stats.backjumps += 1
+                self.backend.backtrack(self._backjump_target(outcome))
+                learned = self.backend.add_learned_clause(outcome.lits)
+                self._bind_learned(trace, False, outcome.lits)
+                if self._lit_value(outcome.assert_lit) is None:
+                    self.stats.propagations += 1
+                    self.backend.assign(outcome.assert_lit, learned)
+                return None
+        if not self._flip_chronological(EXISTS):
+            return Outcome.FALSE
+        return None
+
+    def _handle_solution(self, rec: Optional[Rec]) -> Optional[Outcome]:
+        if rec is not None:
+            cube_lits: Tuple[int, ...] = rec.lits
+        else:
+            cube_lits = build_model_cube(
+                [r.constraint for r in self.backend.orig_clauses],
+                self._view,
+                self.trail.lits,
+            )
+        if self.config.learn_cubes:
+            trace = None
+            if self._proof is not None:
+                if rec is not None:
+                    trace = self._proof.begin_cube(cube_lits)
+                else:
+                    trace = self._proof.begin_initial_cube(cube_lits)
+            outcome = analyze_solution(cube_lits, self._view, trace)
+            if isinstance(outcome, Terminal):
+                if self._proof is not None:
+                    self._proof.conclude(
+                        "true", trace.final_id if trace is not None else None
+                    )
+                return Outcome.TRUE
+            if isinstance(outcome, Backjump):
+                self.stats.backjumps += 1
+                self.backend.backtrack(self._backjump_target(outcome))
+                learned = self.backend.add_learned_cube(outcome.lits)
+                self._bind_learned(trace, True, outcome.lits)
+                if self._lit_value(outcome.assert_lit) is None:
+                    self.stats.propagations += 1
+                    self.backend.assign(-outcome.assert_lit, learned)
+                return None
+        if not self._flip_chronological(FORALL):
+            return Outcome.TRUE
+        return None

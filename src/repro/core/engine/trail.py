@@ -1,0 +1,83 @@
+"""The assignment/trail layer: the only mutable search state.
+
+One :class:`Trail` holds everything the search mutates as it dives and
+backtracks — variable values, decision levels, trail positions, implication
+reasons, the literal stack itself, per-level bookkeeping and the propagation
+queue head. Propagation backends and the search layer share one instance;
+neither owns any other mutable search state (the backends' occurrence
+counters and watch memos are derived caches of this trail).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.literals import var_of
+
+
+class Trail:
+    """Assignment stack with levels, positions and reasons.
+
+    Attributes are deliberately public: the propagation backends read and
+    write them directly in their hot loops. ``decision[lvl]`` is the
+    ``(literal, flipped)`` pair that opened level ``lvl``;
+    ``level_start[lvl]`` its first trail position. Level 0 is the root
+    (slot literal 0, never a real decision).
+    """
+
+    __slots__ = (
+        "num_slots",
+        "value",
+        "level",
+        "pos",
+        "reason",
+        "lits",
+        "queue_head",
+        "level_start",
+        "decision",
+    )
+
+    def __init__(self, num_vars: int):
+        self.num_slots = num_vars + 1
+        self.value: List[int] = [0] * self.num_slots
+        self.level: List[int] = [0] * self.num_slots
+        self.pos: List[int] = [-1] * self.num_slots
+        self.reason: List[object] = [None] * self.num_slots
+        self.lits: List[int] = []
+        self.queue_head = 0
+        self.level_start: List[int] = [0]
+        self.decision: List[Tuple[int, bool]] = [(0, False)]  # slot per level
+
+    @property
+    def current_level(self) -> int:
+        return len(self.level_start) - 1
+
+    def lit_value(self, lit: int) -> Optional[bool]:
+        raw = self.value[var_of(lit)]
+        if raw == 0:
+            return None
+        return (raw > 0) == (lit > 0)
+
+    def push(self, lit: int, reason: object) -> None:
+        """Record ``lit`` as assigned at the current level; backends call
+        this from ``assign`` and layer their bookkeeping around it."""
+        v = var_of(lit)
+        assert self.value[v] == 0, "double assignment of %d" % v
+        self.value[v] = 1 if lit > 0 else -1
+        self.level[v] = self.current_level
+        self.pos[v] = len(self.lits)
+        self.reason[v] = reason
+        self.lits.append(lit)
+
+    def open_level(self, lit: int, flipped: bool) -> None:
+        """Start a new decision level about to be justified by ``lit``."""
+        self.level_start.append(len(self.lits))
+        self.decision.append((lit, flipped))
+
+    def shrink(self, to_level: int, target: int) -> None:
+        """Drop the trail suffix from position ``target`` and the levels
+        above ``to_level``; the caller has already unassigned the values."""
+        del self.lits[target:]
+        del self.level_start[to_level + 1 :]
+        del self.decision[to_level + 1 :]
+        self.queue_head = len(self.lits)

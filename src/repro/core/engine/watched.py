@@ -1,0 +1,311 @@
+"""The prefix-aware watched-literal propagation backend.
+
+**Why clause watches must be existential.** Under a quantifier prefix the
+assignment-aware Lemma 4/5 events depend only on the clause's *existential*
+population: a clause conflicts when its last unassigned existential
+disappears and propagates when exactly one remains (with no unassigned
+universal preceding it). Two unassigned existentials therefore certify that
+no event is possible, no matter how many universals the clause contains —
+so the two watched literals are existential, and universal literals never
+need watching for event detection at all. The cube rules are the exact
+dual: two unassigned *universal* watches certify a live cube is silent.
+
+**The universal-blocker trick.** Universals still matter for the other
+skip condition — a clause satisfied by any true literal (existential or
+universal) triggers nothing. Instead of counting, each record caches one
+``blocker``: the last literal seen to defuse it (a true literal for
+clauses, a false literal for cubes, which is how a universal assignment
+typically silences a clause). The blocker is checked against the *current*
+assignment before trusting it, so it can go stale across backtracking
+without ever being cleaned up.
+
+**Why this is not the classic two-watched-literal scheme.** SAT solvers
+keep inverted watch lists and examine only the clauses watching the
+dequeued literal. That violates this engine's equivalence contract (see
+:mod:`repro.core.engine.backend`): when a unit assigned mid-scan falsifies
+another clause that *contains* the dequeued literal but does not *watch*
+it, the counter backend detects that clause's conflict during the same
+dequeue, in installation order — a watch-list scheme would detect it one
+or more dequeues later, after other units have fired, reordering the trail
+and hence conflict analysis and learning. So this backend keeps the
+occurrence-complete dequeue loop and makes the *per-record* test O(1):
+``blocker``/``w1``/``w2`` are lazy, self-repairing memos, not maintained
+watch lists — nothing is updated at assign or backtrack time.
+
+What the laziness buys: ``assign``/``backtrack`` touch no occurrence list
+at all when the pure-literal rule is off (certified runs force it off),
+and only two of the counter backend's four walks when it is on — the
+``occ_unsat``/cube-liveness sidecar that the counter-driven pure rule
+reads. The model check (every matrix clause satisfied) is eager via the
+sidecar when pure is on, and a blocker-accelerated scan at quiescence when
+it is off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.engine.backend import MODEL, PropagationBackend, Rec
+from repro.core.literals import var_of
+
+
+class WatchedBackend(PropagationBackend):
+    """Lazy watch/blocker memos over the occurrence-complete dequeue loop."""
+
+    name = "watched"
+    refreshes_watches = True
+
+    #: the clause that defeated the last lazy model check; re-checked first
+    #: on the next quiescence (it usually still fails, making the common
+    #: case O(one clause) instead of O(matrix)).
+    _model_witness: Optional[Rec] = None
+
+    def _install_clause(self, rec: Rec) -> None:
+        for lit in rec.lits:
+            self.clause_occ[lit].append(rec)
+            self.occ_unsat[lit] += 1
+        # Aim the watches at the first two existentials; every installed
+        # clause has at least one (an all-universal clause reduces to the
+        # empty clause and never gets here), and nothing is assigned yet.
+        prim = [l for l in rec.lits if self.prefix.is_existential(l)]
+        rec.w1 = prim[0]
+        rec.w2 = prim[1] if len(prim) > 1 else 0
+
+    def assign(self, lit: int, reason: object) -> None:
+        trail = self.trail
+        trail.push(lit, reason)
+        if self._track_pure:
+            # The pure-literal sidecar: the rule reads occ_unsat (via the
+            # sat/unsat transitions of clause n_true) and cube n_false, so
+            # only those two of the counter backend's four walks survive.
+            for rec in self.clause_occ[lit]:
+                rec.n_true += 1
+                if rec.n_true == 1:
+                    self._on_clause_sat(rec)
+            for rec in self.cube_occ[-lit]:
+                rec.n_false += 1
+        if len(trail.lits) > self.stats.max_trail:
+            self.stats.max_trail = len(trail.lits)
+
+    def backtrack(self, to_level: int) -> None:
+        trail = self.trail
+        target = trail.level_start[to_level + 1]
+        value = trail.value
+        reason = trail.reason
+        if self._track_pure:
+            for lit in reversed(trail.lits[target:]):
+                v = var_of(lit)
+                value[v] = 0
+                reason[v] = None
+                # see CounterBackend.backtrack for why exactly the
+                # unassigned variables re-enter the candidate set.
+                self.pure_candidates.add(v)
+                for rec in self.clause_occ[lit]:
+                    rec.n_true -= 1
+                    if rec.n_true == 0:
+                        self._on_clause_unsat(rec)
+                for rec in self.cube_occ[-lit]:
+                    rec.n_false -= 1
+        else:
+            # No sidecar to unwind: unassigning is O(1) per literal. The
+            # watch/blocker memos repair themselves against the live
+            # assignment, so none of them needs touching here either.
+            for lit in reversed(trail.lits[target:]):
+                v = var_of(lit)
+                value[v] = 0
+                reason[v] = None
+        trail.shrink(to_level, target)
+
+    def propagate(self) -> Optional[Tuple[str, object]]:
+        """The counter backend's dequeue loop with O(1) per-record tests.
+
+        Each record is skipped without scanning its body when its memos
+        prove the reference backend would find no event there: the cached
+        blocker still defuses it, one watch defuses it (re-caching the
+        blocker), or both watches are unassigned — two unassigned primaries
+        rule out conflict, solution and unit alike. Everything else falls
+        through to the shared examine, which re-aims the memos as a side
+        effect.
+        """
+        trail = self.trail
+        raw = trail.value
+        examine = self._examine
+        clause_occ = self.clause_occ
+        cube_occ = self.cube_occ
+        track = self._track_pure
+        while True:
+            while trail.queue_head < len(trail.lits):
+                lit = trail.lits[trail.queue_head]
+                trail.queue_head += 1
+                if track:
+                    # The pure-literal sidecar keeps n_true/n_false exact,
+                    # so reuse the counter backend's O(1) defused guards and
+                    # spend the watch memos purely on skipping body scans.
+                    for rec in clause_occ[-lit]:
+                        if rec.n_true == 0:
+                            w1 = rec.w1
+                            w2 = rec.w2
+                            if (
+                                w2
+                                and raw[w1 if w1 > 0 else -w1] == 0
+                                and raw[w2 if w2 > 0 else -w2] == 0
+                            ):
+                                continue  # two unassigned existentials
+                            event = examine(rec, False)
+                            if event is not None:
+                                return event
+                    for rec in cube_occ[lit]:
+                        if rec.n_false == 0:
+                            w1 = rec.w1
+                            w2 = rec.w2
+                            if (
+                                w2
+                                and raw[w1 if w1 > 0 else -w1] == 0
+                                and raw[w2 if w2 > 0 else -w2] == 0
+                            ):
+                                continue  # two unassigned universals
+                            event = examine(rec, True)
+                            if event is not None:
+                                return event
+                    continue
+                # No counters anywhere: the memos carry the whole test.
+                # Values are read straight off the trail's raw array
+                # (value[v] in {-1, 0, 1}); a literal l is true iff its
+                # variable's entry is nonzero with the sign of l.
+                for rec in clause_occ[-lit]:
+                    b = rec.blocker
+                    if b and raw[b if b > 0 else -b] == (1 if b > 0 else -1):
+                        continue  # cached satisfying literal still true
+                    w1 = rec.w1
+                    w2 = rec.w2
+                    if w2:
+                        v1 = raw[w1 if w1 > 0 else -w1]
+                        v2 = raw[w2 if w2 > 0 else -w2]
+                        if v1 == 0:
+                            if v2 == 0:
+                                continue  # two unassigned existentials
+                            if (v2 > 0) == (w2 > 0):
+                                rec.blocker = w2
+                                continue  # watch satisfies the clause
+                        elif (v1 > 0) == (w1 > 0):
+                            rec.blocker = w1
+                            continue
+                        elif v2 != 0 and (v2 > 0) == (w2 > 0):
+                            rec.blocker = w2
+                            continue
+                    elif w1:
+                        v1 = raw[w1 if w1 > 0 else -w1]
+                        if v1 != 0 and (v1 > 0) == (w1 > 0):
+                            rec.blocker = w1
+                            continue
+                    event = examine(rec, False)
+                    if event is not None:
+                        return event
+                for rec in cube_occ[lit]:
+                    b = rec.blocker
+                    if b and raw[b if b > 0 else -b] == (-1 if b > 0 else 1):
+                        continue  # cached false literal: the cube is dead
+                    w1 = rec.w1
+                    w2 = rec.w2
+                    if w2:
+                        v1 = raw[w1 if w1 > 0 else -w1]
+                        v2 = raw[w2 if w2 > 0 else -w2]
+                        if v1 == 0:
+                            if v2 == 0:
+                                continue  # two unassigned universals
+                            if (v2 > 0) != (w2 > 0):
+                                rec.blocker = w2
+                                continue  # watch is false: dead cube
+                        elif (v1 > 0) != (w1 > 0):
+                            rec.blocker = w1
+                            continue
+                        elif v2 != 0 and (v2 > 0) != (w2 > 0):
+                            rec.blocker = w2
+                            continue
+                    elif w1:
+                        v1 = raw[w1 if w1 > 0 else -w1]
+                        if v1 != 0 and (v1 > 0) != (w1 > 0):
+                            rec.blocker = w1
+                            continue
+                    event = examine(rec, True)
+                    if event is not None:
+                        return event
+            if track:
+                if self.n_unsat_orig == 0:
+                    return (MODEL, None)
+                if self.apply_pure_literals():
+                    continue
+                return None
+            if self._matrix_satisfied():
+                return (MODEL, None)
+            return None
+
+    def _matrix_satisfied(self) -> bool:
+        """Lazy model test at quiescence: is every matrix clause satisfied?
+
+        Replaces the eager ``n_unsat_orig`` counter when the pure-literal
+        sidecar is off. Two memos keep the common case cheap: the witness
+        clause that failed the previous check is re-tried first (it almost
+        always still fails, skipping the matrix walk entirely), and each
+        clause's blocker short-circuits the full scan when it does happen.
+        """
+        raw = self.trail.value
+        wit = self._model_witness
+        if wit is not None:
+            for lit in wit.lits:
+                if raw[lit if lit > 0 else -lit] == (1 if lit > 0 else -1):
+                    break
+            else:
+                return False
+        for rec in self.orig_clauses:
+            b = rec.blocker
+            if b and raw[b if b > 0 else -b] == (1 if b > 0 else -1):
+                continue
+            for lit in rec.lits:
+                if raw[lit if lit > 0 else -lit] == (1 if lit > 0 else -1):
+                    rec.blocker = lit
+                    break
+            else:
+                self._model_witness = rec
+                return False
+        return True
+
+    def _install_learned_clause(self, rec: Rec) -> None:
+        track = self._track_pure
+        prefix = self.prefix
+        value = self._lit_value
+        prim = []
+        sat = False
+        for lit in rec.lits:
+            self.clause_occ[lit].append(rec)
+            val = value(lit)
+            if val is True:
+                sat = True
+                rec.blocker = lit
+                if track:
+                    rec.n_true += 1
+            elif val is None and len(prim) < 2 and prefix.is_existential(lit):
+                prim.append(lit)
+        rec.w1 = prim[0] if prim else 0
+        rec.w2 = prim[1] if len(prim) > 1 else 0
+        if track and not sat:
+            for lit in rec.lits:
+                self.occ_unsat[lit] += 1
+
+    def _install_learned_cube(self, rec: Rec) -> None:
+        track = self._track_pure
+        prefix = self.prefix
+        value = self._lit_value
+        prim = []
+        for lit in rec.lits:
+            self.cube_occ[lit].append(rec)
+            self.cube_count[lit] += 1
+            val = value(lit)
+            if val is False:
+                rec.blocker = lit
+                if track:
+                    rec.n_false += 1
+            elif val is None and len(prim) < 2 and prefix.is_universal(lit):
+                prim.append(lit)
+        rec.w1 = prim[0] if prim else 0
+        rec.w2 = prim[1] if len(prim) > 1 else 0

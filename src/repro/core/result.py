@@ -65,6 +65,13 @@ class SolverStats:
     backjumps: int = 0
     chrono_backtracks: int = 0
     max_trail: int = 0
+    #: propagation-layer observability (engine-dependent by design, unlike
+    #: the counters above, which every backend must reproduce exactly):
+    #: full constraint-body scans during propagation...
+    clause_visits: int = 0
+    cube_visits: int = 0
+    #: ...and watch-literal repairs (always 0 under the counter backend).
+    watcher_swaps: int = 0
 
     @property
     def backtracks(self) -> int:

@@ -19,6 +19,16 @@ the only structural changes needed are the branching score and the O(1)
 ``d``/``f`` order test — both of which degenerate gracefully on total
 orders.
 
+Since the layering refactor the engine itself lives in
+:mod:`repro.core.engine`: the trail, the search layer, and two
+interchangeable propagation backends (``counters``, the original eager
+scheme, and ``watched``, the lazy prefix-aware watch/blocker scheme —
+selected by ``SolverConfig.engine``). This module is the stable façade: it
+re-exports :class:`SolverConfig` from its historical import path and keeps
+:class:`QdpllSolver`'s legacy private attribute names alive as views onto
+the layered state, because the white-box tests and debugging sessions poke
+them.
+
 Cost accounting uses *decisions* as the primary platform-independent metric;
 wall-clock is also recorded. A run that exhausts its decision or time budget
 reports ``Outcome.UNKNOWN`` — the reproduction's analogue of the paper's
@@ -27,607 +37,145 @@ reports ``Outcome.UNKNOWN`` — the reproduction's analogue of the paper's
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.constraints import Clause, Constraint, Cube, universal_reduce
-from repro.core.formula import QBF
-from repro.core.heuristics import POLICIES, ScoreKeeper, pick_literal
-from repro.core.learning import (
-    Backjump,
-    Fallback,
-    Terminal,
-    TrailView,
-    analyze_conflict,
-    analyze_solution,
-    build_model_cube,
+from repro.core.engine.backend import (
+    CONFLICT as _CONFLICT,
+    MODEL as _MODEL,
+    PURE as _PURE,
+    SOLUTION as _SOLUTION,
+    Rec as _Rec,
 )
-from repro.core.literals import EXISTS, FORALL, var_of
-from repro.core.result import Outcome, SolveResult, SolverStats
+from repro.core.engine.config import ENGINES, SolverConfig, default_engine
+from repro.core.engine.search import BACKENDS, SearchEngine
+from repro.core.formula import QBF
+from repro.core.result import Outcome, SolveResult
+
+__all__ = [
+    "BACKENDS",
+    "ENGINES",
+    "QdpllSolver",
+    "SolverConfig",
+    "default_engine",
+    "solve",
+]
 
 
-@dataclass
-class SolverConfig:
-    """Feature switches of one engine instance.
+class QdpllSolver(SearchEngine):
+    """One solving session over a fixed QBF — the assembled layered engine.
 
-    The defaults model the full QUBE(PO); the ablation benchmarks toggle the
-    individual switches.
+    All solving behaviour lives in :class:`~repro.core.engine.search.
+    SearchEngine` and the propagation backend it instantiates; this subclass
+    only restores the pre-refactor private names (``_trail``, ``_value``,
+    ``_orig_clauses``, ``_assign``, …) as delegating views so white-box
+    tests and interactive debugging keep working unchanged.
     """
 
-    #: branching policy: "levelsub" (prefix position first, then the
-    #: Section VI subtree score — the reproduction's QUBE(PO) default),
-    #: "subtree" (the pure Section VI score formula), "counter" (plain
-    #: VSIDS-like, tree-blind ranking), or "naive" (lowest id).
-    policy: str = "levelsub"
-    learn_clauses: bool = True
-    learn_cubes: bool = True
-    pure_literals: bool = True
-    #: backtrack target for asserting constraints: "assert" jumps to the
-    #: classical asserting level, "shallow" to the least destructive level
-    #: at which the learned constraint is still unit.
-    backjump: str = "assert"
-    max_decisions: Optional[int] = None
-    max_seconds: Optional[float] = None
-    decay_interval: int = 64
-
-    def __post_init__(self) -> None:
-        if self.policy not in POLICIES:
-            raise ValueError("unknown policy %r" % (self.policy,))
-        if self.backjump not in ("assert", "shallow"):
-            raise ValueError("unknown backjump mode %r" % (self.backjump,))
-
-
-class _Rec:
-    """Solver-private record of one clause or cube with live counters."""
-
-    __slots__ = ("constraint", "n_true", "n_false", "original")
-
-    def __init__(self, constraint: Constraint, original: bool):
-        self.constraint = constraint
-        self.n_true = 0
-        self.n_false = 0
-        self.original = original
+    # -- trail views -----------------------------------------------------------
 
     @property
-    def lits(self) -> Tuple[int, ...]:
-        return self.constraint.lits
+    def _trail(self) -> List[int]:
+        return self.trail.lits
 
     @property
-    def is_cube(self) -> bool:
-        return self.constraint.is_cube
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "Rec(%r, T=%d, F=%d)" % (self.constraint, self.n_true, self.n_false)
-
-
-#: sentinel reason for pure-literal assignments (decision-like in analyses).
-_PURE = object()
-
-_CONFLICT = "conflict"
-_SOLUTION = "solution"
-_MODEL = "model"
-
-
-class QdpllSolver:
-    """One solving session over a fixed QBF. Use :func:`solve` for one-shots.
-
-    ``proof`` optionally attaches a :class:`repro.certify.proof.ProofLogger`
-    that records the run's implicit clause/term resolution derivation as a
-    machine-checkable certificate. Logging is passive — decisions,
-    assignments and learned constraints are identical with and without it —
-    and with ``proof=None`` every hook short-circuits on an ``is None``
-    test, so the disabled cost is zero.
-    """
-
-    def __init__(
-        self,
-        formula: QBF,
-        config: Optional[SolverConfig] = None,
-        proof: Optional[object] = None,
-    ):
-        self.formula = formula
-        self.config = config or SolverConfig()
-        self._proof = proof
-        self.prefix = formula.prefix
-        self.stats = SolverStats()
-        nv = max(self.prefix.variables, default=0)
-        self._num_slots = nv + 1
-        self._value: List[int] = [0] * self._num_slots
-        self._level: List[int] = [0] * self._num_slots
-        self._pos: List[int] = [-1] * self._num_slots
-        self._reason: List[object] = [None] * self._num_slots
-        self._trail: List[int] = []
-        self._queue_head = 0
-        self._level_start: List[int] = [0]
-        self._decision: List[Tuple[int, bool]] = [(0, False)]  # slot per level
-        self._clause_occ: Dict[int, List[_Rec]] = {}
-        self._cube_occ: Dict[int, List[_Rec]] = {}
-        self._occ_unsat: Dict[int, int] = {}
-        self._cube_count: Dict[int, int] = {}
-        for v in self.prefix.variables:
-            for lit in (v, -v):
-                self._clause_occ[lit] = []
-                self._cube_occ[lit] = []
-                self._occ_unsat[lit] = 0
-                self._cube_count[lit] = 0
-        self._orig_clauses: List[_Rec] = []
-        self._learned_clauses: Dict[Tuple[int, ...], _Rec] = {}
-        self._learned_cubes: Dict[Tuple[int, ...], _Rec] = {}
-        self._n_unsat_orig = 0
-        self._pure_candidates: Set[int] = set()
-        self._trivially_false = False
-        self._keeper = ScoreKeeper(self.prefix, decay_interval=self.config.decay_interval)
-        self._install_matrix()
-        if self._proof is not None:
-            self._proof.register_formula(formula)
-        self._view = TrailView(
-            value=self._lit_value,
-            level_of=lambda v: self._level[v],
-            pos_of=lambda v: self._pos[v],
-            reason_of=self._reason_constraint,
-            prefix=self.prefix,
-        )
-        self._deadline: Optional[float] = None
-
-    # -- setup ---------------------------------------------------------------
-
-    def _install_matrix(self) -> None:
-        seen: Set[Tuple[int, ...]] = set()
-        for clause in self.formula.clauses:
-            reduced = universal_reduce(clause.lits, self.prefix)
-            if not reduced:
-                self._trivially_false = True
-                return
-            if reduced in seen:
-                continue
-            seen.add(reduced)
-            rec = _Rec(Clause(reduced), original=True)
-            self._orig_clauses.append(rec)
-            for lit in rec.lits:
-                self._clause_occ[lit].append(rec)
-                self._occ_unsat[lit] += 1
-        self._n_unsat_orig = len(self._orig_clauses)
-        self._keeper.bump_initial([r.lits for r in self._orig_clauses])
-        self._pure_candidates.update(self.prefix.variables)
-
-    # -- trail primitives ------------------------------------------------------
+    def _value(self) -> List[int]:
+        return self.trail.value
 
     @property
-    def current_level(self) -> int:
-        return len(self._level_start) - 1
+    def _level(self) -> List[int]:
+        return self.trail.level
 
-    def _lit_value(self, lit: int) -> Optional[bool]:
-        raw = self._value[var_of(lit)]
-        if raw == 0:
-            return None
-        return (raw > 0) == (lit > 0)
+    @property
+    def _pos(self) -> List[int]:
+        return self.trail.pos
 
-    def _reason_constraint(self, var: int) -> Optional[Constraint]:
-        reason = self._reason[var]
-        if isinstance(reason, _Rec):
-            return reason.constraint
-        return None
+    @property
+    def _reason(self) -> List[object]:
+        return self.trail.reason
+
+    @property
+    def _level_start(self) -> List[int]:
+        return self.trail.level_start
+
+    @property
+    def _decision(self) -> List[Tuple[int, bool]]:
+        return self.trail.decision
+
+    @property
+    def _queue_head(self) -> int:
+        return self.trail.queue_head
+
+    @_queue_head.setter
+    def _queue_head(self, value: int) -> None:
+        self.trail.queue_head = value
+
+    # -- backend views ---------------------------------------------------------
+
+    @property
+    def _orig_clauses(self) -> List[_Rec]:
+        return self.backend.orig_clauses
+
+    @property
+    def _learned_clauses(self) -> Dict[Tuple[int, ...], _Rec]:
+        return self.backend.learned_clauses
+
+    @property
+    def _learned_cubes(self) -> Dict[Tuple[int, ...], _Rec]:
+        return self.backend.learned_cubes
+
+    @property
+    def _pure_candidates(self) -> Set[int]:
+        return self.backend.pure_candidates
+
+    @property
+    def _clause_occ(self) -> Dict[int, List[_Rec]]:
+        return self.backend.clause_occ
+
+    @property
+    def _cube_occ(self) -> Dict[int, List[_Rec]]:
+        return self.backend.cube_occ
+
+    @property
+    def _occ_unsat(self) -> Dict[int, int]:
+        return self.backend.occ_unsat
+
+    @property
+    def _cube_count(self) -> Dict[int, int]:
+        return self.backend.cube_count
+
+    @property
+    def _n_unsat_orig(self) -> int:
+        return self.backend.n_unsat_orig
+
+    @property
+    def _trivially_false(self) -> bool:
+        return self.backend.trivially_false
+
+    # -- operation delegates ---------------------------------------------------
 
     def _assign(self, lit: int, reason: object) -> None:
-        v = var_of(lit)
-        assert self._value[v] == 0, "double assignment of %d" % v
-        self._value[v] = 1 if lit > 0 else -1
-        self._level[v] = self.current_level
-        self._pos[v] = len(self._trail)
-        self._reason[v] = reason
-        self._trail.append(lit)
-        # Counters are maintained eagerly (at assignment, not at dequeue) so
-        # that _backtrack can reverse them uniformly even when the
-        # propagation queue still holds unprocessed literals.
-        for rec in self._clause_occ[lit]:
-            rec.n_true += 1
-            if rec.n_true == 1:
-                self._on_clause_sat(rec)
-        for rec in self._clause_occ[-lit]:
-            rec.n_false += 1
-        for rec in self._cube_occ[-lit]:
-            rec.n_false += 1
-        for rec in self._cube_occ[lit]:
-            rec.n_true += 1
-        if len(self._trail) > self.stats.max_trail:
-            self.stats.max_trail = len(self._trail)
+        self.backend.assign(lit, reason)
 
     def _backtrack(self, to_level: int) -> None:
-        target = self._level_start[to_level + 1]
-        for lit in reversed(self._trail[target:]):
-            v = var_of(lit)
-            self._value[v] = 0
-            self._reason[v] = None
-            # A variable that becomes unassigned may be pure in the restored
-            # state (its candidacy was consumed further down this branch,
-            # possibly while it was assigned and hence skipped by
-            # _apply_pure_literals). Purity only has to be re-examined for
-            # exactly these variables: for a variable that stayed unassigned
-            # through the dive, failing the purity test deeper implies
-            # failing it in every ancestor state, since unassigning can only
-            # add unsatisfied occurrences and revive learned cubes.
-            self._pure_candidates.add(v)
-            for rec in self._clause_occ[lit]:
-                rec.n_true -= 1
-                if rec.n_true == 0:
-                    self._on_clause_unsat(rec)
-            for rec in self._clause_occ[-lit]:
-                rec.n_false -= 1
-            for rec in self._cube_occ[-lit]:
-                rec.n_false -= 1
-            for rec in self._cube_occ[lit]:
-                rec.n_true -= 1
-        del self._trail[target:]
-        del self._level_start[to_level + 1 :]
-        del self._decision[to_level + 1 :]
-        self._queue_head = len(self._trail)
-
-    def _on_clause_sat(self, rec: _Rec) -> None:
-        if rec.original:
-            self._n_unsat_orig -= 1
-        for lit in rec.lits:
-            self._occ_unsat[lit] -= 1
-            if self._occ_unsat[lit] == 0:
-                self._pure_candidates.add(var_of(lit))
-
-    def _on_clause_unsat(self, rec: _Rec) -> None:
-        if rec.original:
-            self._n_unsat_orig += 1
-        for lit in rec.lits:
-            self._occ_unsat[lit] += 1
-
-    # -- propagation ------------------------------------------------------------
-
-    def _examine_clause(self, rec: _Rec) -> Optional[Tuple[str, object]]:
-        """Unit/conflict test under the current assignment (Lemmas 4 and 5)."""
-        unassigned_e: List[int] = []
-        unassigned_u: List[int] = []
-        prefix = self.prefix
-        for lit in rec.lits:
-            val = self._lit_value(lit)
-            if val is None:
-                if prefix.is_existential(lit):
-                    unassigned_e.append(lit)
-                else:
-                    unassigned_u.append(lit)
-        if not unassigned_e:
-            return (_CONFLICT, rec)
-        if len(unassigned_e) == 1:
-            e = unassigned_e[0]
-            if all(not prefix.prec(u, e) for u in unassigned_u):
-                self.stats.propagations += 1
-                self._assign(e, rec)
-        return None
-
-    def _examine_cube(self, rec: _Rec) -> Optional[Tuple[str, object]]:
-        """Dual test: a true cube triggers a solution, a unit cube propagates."""
-        unassigned_e: List[int] = []
-        unassigned_u: List[int] = []
-        prefix = self.prefix
-        for lit in rec.lits:
-            val = self._lit_value(lit)
-            if val is None:
-                if prefix.is_existential(lit):
-                    unassigned_e.append(lit)
-                else:
-                    unassigned_u.append(lit)
-        if not unassigned_u:
-            return (_SOLUTION, rec)
-        if len(unassigned_u) == 1:
-            u = unassigned_u[0]
-            if all(not prefix.prec(e, u) for e in unassigned_e):
-                self.stats.propagations += 1
-                self._assign(-u, rec)
-        return None
+        self.backend.backtrack(to_level)
 
     def _propagate(self) -> Optional[Tuple[str, object]]:
-        """Run propagation + pure literals to fixpoint.
-
-        Returns None (keep searching), a conflict, a solution triggered by a
-        learned cube, or a *model* (every matrix clause satisfied).
-        """
-        while True:
-            while self._queue_head < len(self._trail):
-                lit = self._trail[self._queue_head]
-                self._queue_head += 1
-                for rec in self._clause_occ[-lit]:
-                    if rec.n_true == 0:
-                        event = self._examine_clause(rec)
-                        if event is not None:
-                            return event
-                for rec in self._cube_occ[lit]:
-                    if rec.n_false == 0:
-                        event = self._examine_cube(rec)
-                        if event is not None:
-                            return event
-            if self._n_unsat_orig == 0:
-                return (_MODEL, None)
-            if self.config.pure_literals and self._apply_pure_literals():
-                continue
-            return None
+        return self.backend.propagate()
 
     def _apply_pure_literals(self) -> bool:
-        """Assign currently pure literals; True when anything was assigned.
-
-        Existential rule: assign ``l`` when ``l̄`` occurs in no unsatisfied
-        clause. Universal rule: assign ``l`` when ``l`` itself occurs in no
-        unsatisfied clause. Both additionally require that the assigned
-        literal occurs in no *live* learned cube (one not yet killed by a
-        false literal) — the guard against the monotone-literal/learning
-        interaction analysed in [24]: a pure assignment must never be able
-        to turn a learned good true out of prefix order. Cubes already dead
-        on this branch cannot become true, so they do not block purity.
-        """
-        assigned = False
-        candidates = sorted(self._pure_candidates)
-        self._pure_candidates.clear()
-        for v in candidates:
-            if self._value[v] != 0:
-                continue
-            if self.prefix.quant(v) is EXISTS:
-                options = [l for l in (v, -v) if self._occ_unsat[-l] == 0]
-            else:
-                options = [l for l in (v, -v) if self._occ_unsat[l] == 0]
-            options = [
-                l
-                for l in options
-                if self._cube_count[l] == 0
-                or all(rec.n_false > 0 for rec in self._cube_occ[l])
-            ]
-            if options:
-                self.stats.pure_literals += 1
-                self._assign(options[0], _PURE)
-                assigned = True
-        return assigned
-
-    # -- decisions ----------------------------------------------------------------
-
-    def _available_vars(self) -> List[int]:
-        """Unassigned variables whose ``≺`` predecessors are all assigned.
-
-        A variable is *top* in the current subproblem iff no unassigned
-        variable of a strictly lower alternation level sits above it in the
-        tree. The walk carries two flags: pending variables in ancestors of
-        strictly lower level (blocks them) and pending variables in
-        ancestors of the same level (blocks only deeper levels).
-        """
-        out: List[int] = []
-        value = self._value
-
-        def visit(block, pending_lt: bool, pending_eq: bool) -> None:
-            pending_here = False
-            for v in block.variables:
-                if value[v] == 0:
-                    pending_here = True
-                    if not pending_lt:
-                        out.append(v)
-            for child in block.children:
-                if child.level == block.level:
-                    visit(child, pending_lt, pending_eq or pending_here)
-                else:
-                    visit(child, pending_lt or pending_eq or pending_here, False)
-
-        visit(self.prefix.root, False, False)
-        return out
-
-    def _decide(self) -> bool:
-        """Branch on a heuristic literal; False when no variable remains."""
-        available = self._available_vars()
-        lit = pick_literal(self.config.policy, self._keeper, available)
-        if lit is None:
-            return False
-        self.stats.decisions += 1
-        self._level_start.append(len(self._trail))
-        self._decision.append((lit, False))
-        self._assign(lit, None)
-        return True
-
-    def _flip_chronological(self, want: object) -> bool:
-        """Chronological fallback: flip the deepest unflipped ``want`` decision.
-
-        ``want`` is EXISTS after a conflict and FORALL after a solution.
-        Returns False when no such decision exists (search exhausted).
-        """
-        self.stats.chrono_backtracks += 1
-        for lvl in range(self.current_level, 0, -1):
-            lit, flipped = self._decision[lvl]
-            if not flipped and self.prefix.quant(lit) is want:
-                self._backtrack(lvl - 1)
-                self._level_start.append(len(self._trail))
-                self._decision.append((-lit, True))
-                self._assign(-lit, None)
-                return True
-        return False
-
-    # -- learning plumbing ----------------------------------------------------------
+        return self.backend.apply_pure_literals()
 
     def _add_learned_clause(self, lits: Tuple[int, ...]) -> _Rec:
-        rec = self._learned_clauses.get(lits)
-        if rec is not None:
-            return rec
-        rec = _Rec(Clause(lits, learned=True), original=False)
-        self._learned_clauses[lits] = rec
-        sat = False
-        for lit in lits:
-            self._clause_occ[lit].append(rec)
-            val = self._lit_value(lit)
-            if val is True:
-                rec.n_true += 1
-                sat = True
-            elif val is False:
-                rec.n_false += 1
-        if not sat:
-            for lit in lits:
-                self._occ_unsat[lit] += 1
-        else:
-            # keep the unsat-occurrence invariant: a satisfied clause does
-            # not contribute, so nothing to add.
-            pass
-        self.stats.learned_clauses += 1
-        self.stats.learned_clause_lits += len(lits)
-        self._keeper.on_learned(lits)
-        return rec
+        return self.backend.add_learned_clause(lits)
 
     def _add_learned_cube(self, lits: Tuple[int, ...]) -> _Rec:
-        rec = self._learned_cubes.get(lits)
-        if rec is not None:
-            return rec
-        rec = _Rec(Cube(lits, learned=True), original=False)
-        self._learned_cubes[lits] = rec
-        for lit in lits:
-            self._cube_occ[lit].append(rec)
-            self._cube_count[lit] += 1
-            val = self._lit_value(lit)
-            if val is True:
-                rec.n_true += 1
-            elif val is False:
-                rec.n_false += 1
-        self.stats.learned_cubes += 1
-        self.stats.learned_cube_lits += len(lits)
-        self._keeper.on_learned(lits)
-        return rec
+        return self.backend.add_learned_cube(lits)
 
-    # -- main loop ---------------------------------------------------------------------
+    def _on_clause_sat(self, rec: _Rec) -> None:
+        self.backend._on_clause_sat(rec)
 
-    def solve(self) -> SolveResult:
-        """Run the search to completion or budget exhaustion."""
-        start = time.monotonic()
-        if self.config.max_seconds is not None:
-            self._deadline = start + self.config.max_seconds
-        outcome = self._run()
-        if self._proof is not None and not self._proof.concluded:
-            # A verdict that never passed through a Terminal analysis:
-            # budget exhaustion, or search exhausted by chronological flips
-            # alone. Conclude honestly with no backing derivation.
-            reason = (
-                "budget exhausted"
-                if outcome is Outcome.UNKNOWN
-                else "verdict reached by chronological exhaustion"
-            )
-            self._proof.conclude(outcome.value, None, reason=reason)
-        return SolveResult(outcome, self.stats, time.monotonic() - start)
-
-    def _budget_exhausted(self) -> bool:
-        cfg = self.config
-        if cfg.max_decisions is not None:
-            if self.stats.decisions >= cfg.max_decisions:
-                return True
-            # Safety net: backjump/propagation loops that make no decisions
-            # still burn backtracks; bound them by a generous multiple so a
-            # budgeted run can never spin forever.
-            if self.stats.backtracks >= 32 * cfg.max_decisions + 1024:
-                return True
-        if self._deadline is not None and time.monotonic() > self._deadline:
-            return True
-        return False
-
-    def _run(self) -> Outcome:
-        if self._trivially_false:
-            if self._proof is not None:
-                # register_formula logged the clause whose reduction is
-                # empty; it is the whole refutation.
-                self._proof.conclude("false", self._proof.lookup(False, ()))
-            return Outcome.FALSE
-        if not self._orig_clauses:
-            if self._proof is not None:
-                # Empty matrix: the empty cube vacuously satisfies it.
-                self._proof.conclude("true", self._proof.initial_cube(()))
-            return Outcome.TRUE
-        while True:
-            event = self._propagate()
-            if event is None:
-                if self._budget_exhausted():
-                    return Outcome.UNKNOWN
-                if not self._decide():
-                    # Every variable assigned without conflict: all clauses
-                    # are satisfied, which _propagate reports as a model.
-                    raise AssertionError("decision requested with no variables left")
-                continue
-            kind, payload = event
-            if kind == _CONFLICT:
-                self.stats.conflicts += 1
-                verdict = self._handle_conflict(payload)
-            else:
-                self.stats.solutions += 1
-                verdict = self._handle_solution(payload)
-            if verdict is not None:
-                return verdict
-            if self._budget_exhausted():
-                return Outcome.UNKNOWN
-
-    def _backjump_target(self, outcome: Backjump) -> int:
-        if self.config.backjump == "shallow":
-            return outcome.shallow_level
-        return outcome.level
-
-    def _bind_learned(self, trace: Optional[object], is_cube: bool, lits: Tuple[int, ...]) -> None:
-        """Name a learned constraint after its derivation's final step."""
-        if trace is None or not trace.ok:
-            return
-        if trace.cur_lits == lits:
-            self._proof.bind(is_cube, lits, trace.cur_id)
-        else:  # pragma: no cover - trace desync would be a logger bug
-            trace.fail("learned constraint does not match its derivation")
-
-    def _handle_conflict(self, rec: _Rec) -> Optional[Outcome]:
-        if self.config.learn_clauses:
-            trace = None
-            if self._proof is not None:
-                trace = self._proof.begin_clause(rec.lits)
-            outcome = analyze_conflict(rec.lits, self._view, trace)
-            if isinstance(outcome, Terminal):
-                if self._proof is not None:
-                    self._proof.conclude(
-                        "false", trace.final_id if trace is not None else None
-                    )
-                return Outcome.FALSE
-            if isinstance(outcome, Backjump):
-                self.stats.backjumps += 1
-                self._backtrack(self._backjump_target(outcome))
-                learned = self._add_learned_clause(outcome.lits)
-                self._bind_learned(trace, False, outcome.lits)
-                if self._lit_value(outcome.assert_lit) is None:
-                    self.stats.propagations += 1
-                    self._assign(outcome.assert_lit, learned)
-                return None
-        if not self._flip_chronological(EXISTS):
-            return Outcome.FALSE
-        return None
-
-    def _handle_solution(self, rec: Optional[_Rec]) -> Optional[Outcome]:
-        if rec is not None:
-            cube_lits: Tuple[int, ...] = rec.lits
-        else:
-            cube_lits = build_model_cube(
-                [r.constraint for r in self._orig_clauses], self._view, self._trail
-            )
-        if self.config.learn_cubes:
-            trace = None
-            if self._proof is not None:
-                if rec is not None:
-                    trace = self._proof.begin_cube(cube_lits)
-                else:
-                    trace = self._proof.begin_initial_cube(cube_lits)
-            outcome = analyze_solution(cube_lits, self._view, trace)
-            if isinstance(outcome, Terminal):
-                if self._proof is not None:
-                    self._proof.conclude(
-                        "true", trace.final_id if trace is not None else None
-                    )
-                return Outcome.TRUE
-            if isinstance(outcome, Backjump):
-                self.stats.backjumps += 1
-                self._backtrack(self._backjump_target(outcome))
-                learned = self._add_learned_cube(outcome.lits)
-                self._bind_learned(trace, True, outcome.lits)
-                if self._lit_value(outcome.assert_lit) is None:
-                    self.stats.propagations += 1
-                    self._assign(-outcome.assert_lit, learned)
-                return None
-        if not self._flip_chronological(FORALL):
-            return Outcome.TRUE
-        return None
+    def _on_clause_unsat(self, rec: _Rec) -> None:
+        self.backend._on_clause_unsat(rec)
 
 
 def solve(

@@ -76,6 +76,17 @@ def _open_log(results_path: Optional[str]) -> Optional[ResultsLog]:
     return ResultsLog(results_path) if results_path else None
 
 
+def _engine_overrides(engine: str) -> Tuple[Tuple[str, object], ...]:
+    """Task overrides for a propagation-backend choice.
+
+    The default backend maps to *no* override so the task fingerprints —
+    and therefore the resume keys of every pre-existing results file —
+    stay byte-identical; a non-default backend lands in the fingerprint
+    and keys its own rows.
+    """
+    return (("engine", engine),) if engine != "counters" else ()
+
+
 def _checked(to_run: Measurement, po_run: Measurement, log: Optional[ResultsLog]) -> None:
     """TO/PO agreement: raise when unlogged, record as data when logged."""
     try:
@@ -133,8 +144,10 @@ def run_ncf(
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
     certify: bool = False,
+    engine: str = "counters",
 ) -> List[PairResult]:
     """Run QUBE(TO) under each strategy and QUBE(PO) on the NCF sweep."""
+    overrides = _engine_overrides(engine)
     tasks: List[Task] = []
     meta: List[Tuple[str, str]] = []
     for setting, params_list in ncf_settings(instances):
@@ -143,10 +156,10 @@ def run_ncf(
             for s in strategies:
                 tasks.append(
                     Task(params.label, "TO(%s)" % s, phi, "to", s, budget,
-                         certify=certify)
+                         overrides=overrides, certify=certify)
                 )
             tasks.append(Task(params.label, "PO", phi, "po", budget=budget,
-                              certify=certify))
+                              overrides=overrides, certify=certify))
             meta.append((params.label, setting))
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
@@ -193,16 +206,18 @@ def run_fpv(
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
     certify: bool = False,
+    engine: str = "counters",
 ) -> List[PairResult]:
     """Run the FPV suite with the ∃↑∀↑ strategy (the paper's choice)."""
+    overrides = _engine_overrides(engine)
     tasks: List[Task] = []
     labels: List[str] = []
     for params in fpv_instances(count):
         phi = generate_fpv(params)
         tasks.append(Task(params.label, "TO(%s)" % strategy, phi, "to", strategy,
-                          budget, certify=certify))
+                          budget, overrides=overrides, certify=certify))
         tasks.append(Task(params.label, "PO", phi, "po", budget=budget,
-                          certify=certify))
+                          overrides=overrides, certify=certify))
         labels.append(params.label)
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
@@ -263,17 +278,20 @@ def run_dia(
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
     certify: bool = False,
+    engine: str = "counters",
 ) -> List[PairResult]:
     """Run TO/PO on every DIA instance (prenex form == equation (16))."""
+    overrides = _engine_overrides(engine)
     tasks: List[Task] = []
     labels: List[str] = []
     for label, tree, flat in dia_instances(max_n_cap):
         # The prenex form is built directly by the encoder (equation (16)),
         # so measure it as-is ("po" mode) rather than re-prenexing the tree;
         # the task's solver label records it as the TO side.
-        tasks.append(Task(label, "PO", tree, "po", budget=budget, certify=certify))
+        tasks.append(Task(label, "PO", tree, "po", budget=budget,
+                          overrides=overrides, certify=certify))
         tasks.append(Task(label, "TO(eq16)", flat, "po", budget=budget,
-                          certify=certify))
+                          overrides=overrides, certify=certify))
         labels.append(label)
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
@@ -293,6 +311,8 @@ def run_dia_scaling(
     sizes: Sequence[int] = (2, 3),
     budget: Budget = Budget(decisions=8000),
     max_n_cap: int = 10,
+    engine: str = "counters",
+    **overrides,
 ) -> Tuple[List[ScalingSeries], List[ScalingSeries]]:
     """Figure 6: cost vs tested length per model size, PO and TO series.
 
@@ -310,8 +330,18 @@ def run_dia_scaling(
         po_s = ScalingSeries("%s (PO)" % model.name)
         to_s = ScalingSeries("%s (TO)" % model.name)
         for n in range(min(d, max_n_cap) + 1):
-            po = solve_po(diameter_qbf(model, n, "tree"), budget=budget)
-            to = solve_po(diameter_qbf(model, n, "prenex"), budget=budget)
+            po = solve_po(
+                diameter_qbf(model, n, "tree"),
+                budget=budget,
+                engine=engine,
+                **overrides,
+            )
+            to = solve_po(
+                diameter_qbf(model, n, "prenex"),
+                budget=budget,
+                engine=engine,
+                **overrides,
+            )
             po_s.add(n, po.cost, po.timed_out)
             to_s.add(n, to.cost, to.timed_out)
             if po.timed_out and to.timed_out:
@@ -401,6 +431,7 @@ def run_eval06(
     results_path: Optional[str] = None,
     wall_timeout: Optional[float] = None,
     certify: bool = False,
+    engine: str = "counters",
 ) -> Tuple[List[PairResult], int]:
     """The Figure-7 pipeline: miniscope, filter by PO/TO ratio, compare.
 
@@ -410,6 +441,7 @@ def run_eval06(
     (cheap) miniscoping filter runs in-process; only the solver runs are
     fanned out.
     """
+    overrides = _engine_overrides(engine)
     tasks: List[Task] = []
     labels: List[str] = []
     filtered_out = 0
@@ -419,8 +451,9 @@ def run_eval06(
             filtered_out += 1
             continue
         tasks.append(Task(label, "TO(eu_au)", phi, "to", "eu_au", budget,
-                          certify=certify))
-        tasks.append(Task(label, "PO", tree, "po", budget=budget, certify=certify))
+                          overrides=overrides, certify=certify))
+        tasks.append(Task(label, "PO", tree, "po", budget=budget,
+                          overrides=overrides, certify=certify))
         labels.append(label)
     with_log = _open_log(results_path)
     by_key = _run_batch(tasks, jobs, with_log, wall_timeout)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import io
 from typing import Iterable, List, TextIO, Tuple, Union
 
+from repro.core.constraints import sanitize_lits
 from repro.core.formula import QBF
 from repro.core.literals import EXISTS, FORALL, Quant
 from repro.core.prefix import Prefix
@@ -99,9 +100,16 @@ def loads(text: str) -> QBF:
         nums = _parse_ints(line, lineno)
         if not nums or nums[-1] != 0:
             raise QdimacsError("line %d: clause must end with 0" % lineno)
-        lits = tuple(nums[:-1])
-        if any(l == 0 for l in lits):
+        raw_lits = tuple(nums[:-1])
+        if any(l == 0 for l in raw_lits):
             raise QdimacsError("line %d: literal 0 inside clause" % lineno)
+        # Benchmark files in the wild repeat literals and even emit
+        # tautological clauses; dedup the former and drop the latter here
+        # (a tautology is satisfied under every assignment) so downstream
+        # code only ever sees clean clauses.
+        lits = sanitize_lits(raw_lits)
+        if lits is None:
+            continue
         clauses.append(lits)
     if not header_seen and not blocks and not clauses:
         raise QdimacsError("empty input")

@@ -1,0 +1,139 @@
+"""Property tests: the propagation backends are decision-for-decision equal.
+
+The layered engine's contract (see :mod:`repro.core.engine.backend`) says a
+backend choice may change how fast events are found, never *which* events:
+on the same formula and config, every backend must produce the same decision
+sequence, the same trail at each decision, the same outcome and the same
+search statistics (modulo the explicitly backend-dependent visit/swap
+counters). These tests check exactly that, on random non-prenex QBFs and
+their prenexings — i.e. QUBE(PO) and QUBE(TO) alike — with the pure-literal
+rule both on and off, and additionally that the watched engine's runs
+certify (its clause/term resolution derivations check out independently).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.result import Outcome
+from repro.core.solver import QdpllSolver, SolverConfig
+from repro.generators.random_qbf import random_qbf
+from repro.prenexing import prenex
+
+#: stats that are allowed — expected, even — to differ between backends.
+BACKEND_DEPENDENT = ("clause_visits", "cube_visits", "watcher_swaps")
+
+
+def _traced_run(formula, config):
+    """Solve and record (trail, decision-stack) snapshots at each decision."""
+    solver = QdpllSolver(formula, config)
+    snapshots = []
+    inner = solver._decide
+
+    def traced():
+        ok = inner()
+        snapshots.append((tuple(solver.trail.lits), tuple(solver.trail.decision)))
+        return ok
+
+    solver._decide = traced
+    result = solver.solve()
+    return result, snapshots
+
+
+def _comparable_stats(stats):
+    out = dataclasses.asdict(stats)
+    for key in BACKEND_DEPENDENT:
+        out.pop(key)
+    return out
+
+
+@pytest.mark.parametrize("pure", [True, False], ids=["pure-on", "pure-off"])
+@pytest.mark.parametrize("seed", range(30))
+def test_backends_identical_decision_sequences(seed, pure):
+    rng = random.Random(seed)
+    phi = random_qbf(
+        rng,
+        prenex=False,
+        depth=2,
+        branching=2,
+        block_size=rng.randint(1, 2),
+        clauses_per_scope=2,
+        clause_len=3,
+    )
+    for variant in (phi, prenex(phi)):  # QUBE(PO) and QUBE(TO)
+        runs = {}
+        for engine in ("counters", "watched"):
+            config = SolverConfig(engine=engine, pure_literals=pure, max_decisions=3000)
+            runs[engine] = _traced_run(variant, config)
+        ref_result, ref_snapshots = runs["counters"]
+        new_result, new_snapshots = runs["watched"]
+        assert new_result.outcome is ref_result.outcome
+        assert new_snapshots == ref_snapshots, (
+            "trail diverged at decision %d"
+            % next(
+                i
+                for i, (a, b) in enumerate(zip(ref_snapshots, new_snapshots))
+                if a != b
+            )
+        )
+        assert _comparable_stats(new_result.stats) == _comparable_stats(ref_result.stats)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_watched_runs_certify(seed):
+    """The watched engine's certified runs verify end to end.
+
+    Certification forces the pure-literal rule off, so this also pins the
+    watched backend's fully lazy fast path (no occurrence walks at
+    assign/backtrack at all) against the independent proof checker.
+    """
+    from repro.certify import (
+        MemorySink,
+        ProofLogger,
+        certifying_config,
+        check_certificate,
+    )
+
+    rng = random.Random(1000 + seed)
+    phi = random_qbf(
+        rng,
+        prenex=False,
+        depth=2,
+        branching=2,
+        block_size=rng.randint(1, 2),
+        clauses_per_scope=2,
+        clause_len=3,
+    )
+    outcomes = {}
+    for engine in ("counters", "watched"):
+        config = certifying_config(SolverConfig(engine=engine, max_decisions=3000))
+        sink = MemorySink()
+        result = QdpllSolver(phi, config, proof=ProofLogger(sink)).solve()
+        assert result.outcome is not Outcome.UNKNOWN
+        report = check_certificate(phi, sink)
+        assert report.status == "verified", report
+        outcomes[engine] = result.outcome
+    assert outcomes["counters"] is outcomes["watched"]
+
+
+def test_stats_volatility_is_limited_to_visit_counters():
+    """The watched backend earns its keep: on a real instance it must do
+    *fewer* constraint-body scans than the reference, not just the same
+    events — and the reference must never report a watcher swap."""
+    from repro.generators.ncf import NcfParams, generate_ncf
+
+    phi = generate_ncf(NcfParams(dep=6, var=4, cls=12, lpc=5, seed=1))
+    runs = {
+        engine: QdpllSolver(
+            phi, SolverConfig(engine=engine, max_decisions=2000)
+        ).solve()
+        for engine in ("counters", "watched")
+    }
+    assert runs["counters"].stats.watcher_swaps == 0
+    assert _comparable_stats(runs["counters"].stats) == _comparable_stats(
+        runs["watched"].stats
+    )
+    total_visits = lambda s: s.clause_visits + s.cube_visits
+    assert total_visits(runs["watched"].stats) <= total_visits(runs["counters"].stats)
+    assert runs["watched"].stats.watcher_swaps > 0

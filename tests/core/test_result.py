@@ -90,6 +90,14 @@ def test_every_stats_field_is_exercised_by_some_run():
         solve(paper_example(), SolverConfig(learn_clauses=False, learn_cubes=False)),
         solve(generate_ncf(NcfParams(dep=4, var=3, cls=9, lpc=4, seed=0))),
         solve(generate_ncf(NcfParams(dep=4, var=3, cls=6, lpc=4, seed=1))),
+        # live learned cubes get re-examined (cube_visits) only once the
+        # search revisits them from above; this instance is known to
+        solve(generate_ncf(NcfParams(dep=4, var=4, cls=15, lpc=4, seed=3))),
+        # the watched backend is the only one that moves watcher_swaps
+        solve(
+            generate_ncf(NcfParams(dep=4, var=3, cls=9, lpc=4, seed=0)),
+            SolverConfig(engine="watched"),
+        ),
     ]
     for f in fields(SolverStats):
         assert any(

@@ -28,6 +28,27 @@ class TestInstall:
         phi = QBF.prenex([(EXISTS, [1, 9]), (FORALL, [2])], [(1, 2), (1, -2)])
         assert solve(phi).outcome is Outcome.TRUE
 
+    def test_install_sanitizes_raw_clauses(self):
+        # The engine accepts duck-typed formulas whose clauses are raw
+        # literal tuples (canonical Clause would reject these at
+        # construction): duplicate literals are dropped and a same-clause
+        # tautology is skipped outright at install time.
+        from types import SimpleNamespace
+
+        clean = QBF.prenex([(EXISTS, [1, 2])], [(1, 2)])
+        raw = SimpleNamespace(
+            prefix=clean.prefix,
+            clauses=[
+                SimpleNamespace(lits=(1, -1, 2)),  # tautological: skipped
+                SimpleNamespace(lits=(1, 1, 2)),  # duplicate: dedup to (1, 2)
+                SimpleNamespace(lits=(2, 1)),  # canonicalizes to the same
+            ],
+        )
+        for engine in ("counters", "watched"):
+            solver = QdpllSolver(raw, SolverConfig(engine=engine))
+            assert [rec.lits for rec in solver._orig_clauses] == [(1, 2)]
+            assert solver.solve().outcome is Outcome.TRUE
+
 
 class TestPropagation:
     def test_unit_chain_at_level_zero(self):
@@ -168,35 +189,38 @@ class TestPureLiteralBacktracking:
 
     def test_fix_changes_search_but_not_outcomes(self):
         # Differential regression against a replica of the pre-fix
-        # ``_backtrack`` (no candidate re-seeding). On real NCF instances the
+        # ``backtrack`` (no candidate re-seeding). On real NCF instances the
         # re-seeded engine must (a) always agree on the outcome and (b)
         # actually diverge in its decision/pure-literal counts — if the
         # re-seed is ever lost again, the two engines become identical and
-        # this test fails.
+        # this test fails. The replica is a propagation backend pinned via
+        # the ``backend_override`` test hook.
+        from repro.core.engine import CounterBackend
         from repro.core.literals import var_of
         from repro.generators.ncf import NcfParams, generate_ncf
 
-        class PreFixSolver(QdpllSolver):
-            def _backtrack(self, to_level):
-                target = self._level_start[to_level + 1]
-                for lit in reversed(self._trail[target:]):
+        class PreFixBackend(CounterBackend):
+            def backtrack(self, to_level):
+                trail = self.trail
+                target = trail.level_start[to_level + 1]
+                for lit in reversed(trail.lits[target:]):
                     v = var_of(lit)
-                    self._value[v] = 0
-                    self._reason[v] = None
-                    for rec in self._clause_occ[lit]:
+                    trail.value[v] = 0
+                    trail.reason[v] = None
+                    for rec in self.clause_occ[lit]:
                         rec.n_true -= 1
                         if rec.n_true == 0:
                             self._on_clause_unsat(rec)
-                    for rec in self._clause_occ[-lit]:
+                    for rec in self.clause_occ[-lit]:
                         rec.n_false -= 1
-                    for rec in self._cube_occ[-lit]:
+                    for rec in self.cube_occ[-lit]:
                         rec.n_false -= 1
-                    for rec in self._cube_occ[lit]:
+                    for rec in self.cube_occ[lit]:
                         rec.n_true -= 1
-                del self._trail[target:]
-                del self._level_start[to_level + 1 :]
-                del self._decision[to_level + 1 :]
-                self._queue_head = len(self._trail)
+                trail.shrink(to_level, target)
+
+        class PreFixSolver(QdpllSolver):
+            backend_override = PreFixBackend
 
         diverged = False
         for seed in (1, 3):

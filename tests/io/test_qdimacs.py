@@ -60,6 +60,18 @@ class TestLoads:
         with pytest.raises(QdimacsError):
             qdimacs.loads("")
 
+    def test_duplicate_literals_deduplicated(self):
+        phi = qdimacs.loads("p cnf 2 1\ne 1 2 0\n1 1 2 0\n")
+        assert phi.clauses[0].lits == (1, 2)
+
+    def test_tautological_clause_dropped(self):
+        # (1 ∨ ¬1 ∨ 2) is true under every assignment; real benchmark sets
+        # contain such clauses and the loader must not choke on them.
+        phi = qdimacs.loads("p cnf 2 2\ne 1 2 0\n1 -1 2 0\n2 0\n")
+        assert phi.num_clauses == 1
+        assert phi.clauses[0].lits == (2,)
+        assert solve(phi).outcome.value == "true"
+
 
 class TestDumps:
     def test_rejects_non_prenex(self):
