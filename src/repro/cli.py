@@ -46,6 +46,15 @@ from repro.io import qdimacs, qtree
 from repro.prenexing.miniscoping import miniscope, structure_ratio
 from repro.prenexing.strategies import STRATEGIES, prenex
 
+#: stable exit-code contract for ``solve`` (SAT-solver convention). A budget
+#: that ran dry and a preemption are different events: the former means the
+#: instance is too hard at this budget, the latter that a checkpoint likely
+#: exists and a rerun with ``--checkpoint`` will pick up where this left off.
+EXIT_TRUE = 10
+EXIT_FALSE = 20
+EXIT_UNKNOWN = 2
+EXIT_INTERRUPTED = 3
+
 
 def _read(path: str) -> QBF:
     if path == "-":
@@ -66,6 +75,8 @@ def _write(formula: QBF, path: Optional[str]) -> None:
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
+    import os
+
     phi = _read(args.input)
     if args.to:
         phi = prenex(phi, args.strategy)
@@ -78,7 +89,42 @@ def cmd_solve(args: argparse.Namespace) -> int:
         max_seconds=args.max_seconds,
         engine=args.engine,
     )
-    result = solve(phi, config)
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint is None:
+        result = solve(phi, config)
+    else:
+        from repro.robustness import (
+            CheckpointError,
+            global_flag,
+            handling_signals,
+            load_checkpoint,
+        )
+
+        resume = None
+        if os.path.exists(checkpoint):
+            try:
+                resume = load_checkpoint(checkpoint)
+            except CheckpointError as exc:
+                print("warning: ignoring unusable checkpoint %s: %s"
+                      % (checkpoint, exc), file=sys.stderr)
+        flag = global_flag()
+        flag.clear()
+        with handling_signals(flag):
+            try:
+                result = solve(
+                    phi,
+                    config,
+                    interrupt=flag,
+                    resume_from=resume,
+                    checkpoint_to=checkpoint,
+                )
+            except CheckpointError as exc:
+                # The snapshot loaded but belongs to another formula/config.
+                print("warning: checkpoint %s does not match this run: %s"
+                      % (checkpoint, exc), file=sys.stderr)
+                result = solve(
+                    phi, config, interrupt=flag, checkpoint_to=checkpoint
+                )
     stats = result.stats
     print("result      %s" % result.outcome.value.upper())
     print("engine      %s" % config.engine)
@@ -90,8 +136,18 @@ def cmd_solve(args: argparse.Namespace) -> int:
           % (stats.clause_visits, stats.cube_visits, stats.watcher_swaps))
     print("time        %.3fs" % result.seconds)
     if result.outcome is Outcome.UNKNOWN:
-        return 2
-    return 10 if result.value else 20  # SAT-solver-style exit codes
+        if result.interrupted:
+            if checkpoint is not None and os.path.exists(checkpoint):
+                print("interrupted (checkpoint saved to %s; rerun with "
+                      "--checkpoint to resume)" % checkpoint)
+            else:
+                print("interrupted")
+            return EXIT_INTERRUPTED
+        if checkpoint is not None and os.path.exists(checkpoint):
+            print("budget exhausted (checkpoint saved to %s; rerun with a "
+                  "larger budget to resume)" % checkpoint)
+        return EXIT_UNKNOWN
+    return EXIT_TRUE if result.value else EXIT_FALSE
 
 
 def cmd_prenex(args: argparse.Namespace) -> int:
@@ -133,6 +189,11 @@ def cmd_evalx_run(args: argparse.Namespace) -> int:
     from repro.evalx.suites import run_dia, run_eval06, run_fpv, run_ncf
     from repro.evalx.table1 import build_row, render_table
 
+    faults = None
+    if args.fault_plan:
+        from repro.robustness.faults import FaultPlan
+
+        faults = FaultPlan.from_file(args.fault_plan)
     budget = Budget(decisions=args.decisions, seconds=args.seconds)
     common = dict(
         budget=budget,
@@ -141,6 +202,9 @@ def cmd_evalx_run(args: argparse.Namespace) -> int:
         wall_timeout=args.wall_timeout,
         certify=args.certify,
         engine=args.engine,
+        checkpoint_dir=args.checkpoint_dir,
+        faults=faults,
+        durable=not args.no_fsync,
     )
     filtered_out = None
     if args.suite == "ncf":
@@ -300,6 +364,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument("--max-decisions", type=int, default=None)
     p_solve.add_argument("--max-seconds", type=float, default=None)
+    p_solve.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resume from this snapshot if it exists, and save one there on "
+        "preemption (SIGTERM/SIGINT) or budget exhaustion; exit %d means "
+        "interrupted-with-checkpoint, %d plain budget-unknown"
+        % (EXIT_INTERRUPTED, EXIT_UNKNOWN),
+    )
     p_solve.set_defaults(func=cmd_solve)
 
     p_prenex = sub.add_parser("prenex", help="convert to prenex form")
@@ -402,6 +473,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="propagation backend for every run in the sweep; a non-default "
         "choice lands in the task fingerprints, so results files keyed on "
         "the default stay resumable (default: $REPRO_ENGINE or counters)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="per-task solver snapshots land here; a preempted or "
+        "hard-timed-out worker's retry (or a whole rerun) resumes its "
+        "search instead of starting over",
+    )
+    p_run.add_argument(
+        "--fault-plan", default=None, metavar="PLAN.JSON",
+        help="deterministic fault-injection plan (see repro.robustness."
+        "faults.FaultPlan) for chaos-testing the harness itself",
+    )
+    p_run.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync after each results row; faster, but a host crash "
+        "can lose or tear the final line",
     )
     p_run.set_defaults(func=cmd_evalx_run)
 

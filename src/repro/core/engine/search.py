@@ -59,10 +59,16 @@ class SearchEngine:
         formula: QBF,
         config: Optional[SolverConfig] = None,
         proof: Optional[object] = None,
+        interrupt: Optional[object] = None,
     ):
         self.formula = formula
         self.config = config or SolverConfig()
         self._proof = proof
+        #: cooperative preemption: an object with ``is_set()`` (or a bare
+        #: callable) polled at the budget-check sites; see
+        #: :mod:`repro.robustness.interrupt`.
+        self._interrupt = interrupt
+        self.interrupted = False
         self.prefix = formula.prefix
         self.stats = SolverStats()
         nv = max(self.prefix.variables, default=0)
@@ -155,23 +161,77 @@ class SearchEngine:
 
     # -- main loop ---------------------------------------------------------------------
 
-    def solve(self) -> SolveResult:
-        """Run the search to completion or budget exhaustion."""
+    def solve(
+        self,
+        resume_from: Optional[object] = None,
+        checkpoint_to: Optional[str] = None,
+    ) -> SolveResult:
+        """Run the search to completion, budget exhaustion, or interruption.
+
+        ``resume_from`` (a :class:`repro.robustness.checkpoint.Checkpoint`
+        or a path to one) replays an earlier run's frontier into this
+        freshly built engine before searching; the resumed run continues
+        decision-for-decision where the interrupted one stopped. A bad
+        checkpoint raises :class:`~repro.robustness.checkpoint.
+        CheckpointError` before any state is mutated.
+
+        ``checkpoint_to`` names a snapshot file: flushed (atomically) when
+        the run ends UNKNOWN — preempted or out of budget — and removed on
+        a determinate outcome, so a stale snapshot never outlives the
+        answer it was saved to reach.
+        """
         start = time.monotonic()
+        resumed_seconds = 0.0
+        if resume_from is not None:
+            from repro.robustness.checkpoint import load_checkpoint, restore
+
+            if isinstance(resume_from, str):
+                resume_from = load_checkpoint(resume_from)
+            resumed_seconds = restore(self, resume_from)
         if self.config.max_seconds is not None:
-            self._deadline = start + self.config.max_seconds
+            # The checkpointed run already spent part of the wall budget.
+            self._deadline = start + max(self.config.max_seconds - resumed_seconds, 0.0)
         outcome = self._run()
+        seconds = resumed_seconds + (time.monotonic() - start)
+        if checkpoint_to is not None:
+            if outcome is Outcome.UNKNOWN:
+                # Capture before concluding the proof: the snapshot must
+                # carry a logger state that can still reach a conclusion.
+                from repro.robustness.checkpoint import capture, save_checkpoint
+
+                save_checkpoint(capture(self, seconds=seconds), checkpoint_to)
+            else:
+                import os
+
+                try:
+                    os.unlink(checkpoint_to)
+                except OSError:
+                    pass
         if self._proof is not None and not self._proof.concluded:
             # A verdict that never passed through a Terminal analysis:
             # budget exhaustion, or search exhausted by chronological flips
             # alone. Conclude honestly with no backing derivation.
-            reason = (
-                "budget exhausted"
-                if outcome is Outcome.UNKNOWN
-                else "verdict reached by chronological exhaustion"
-            )
+            if outcome is Outcome.UNKNOWN:
+                reason = "interrupted" if self.interrupted else "budget exhausted"
+            else:
+                reason = "verdict reached by chronological exhaustion"
             self._proof.conclude(outcome.value, None, reason=reason)
-        return SolveResult(outcome, self.stats, time.monotonic() - start)
+        return SolveResult(outcome, self.stats, seconds, interrupted=self.interrupted)
+
+    def _interrupt_requested(self) -> bool:
+        flag = self._interrupt
+        if flag is None:
+            return False
+        check = getattr(flag, "is_set", None)
+        return bool(check() if check is not None else flag())
+
+    def _should_stop(self) -> bool:
+        """Budget *or* preemption — polled only at quiescent points, so an
+        UNKNOWN exit always leaves a checkpointable frontier."""
+        if self._interrupt_requested():
+            self.interrupted = True
+            return True
+        return self._budget_exhausted()
 
     def _budget_exhausted(self) -> bool:
         cfg = self.config
@@ -203,7 +263,7 @@ class SearchEngine:
         while True:
             event = backend.propagate()
             if event is None:
-                if self._budget_exhausted():
+                if self._should_stop():
                     return Outcome.UNKNOWN
                 if not self._decide():
                     # Every variable assigned without conflict: all clauses
@@ -219,7 +279,7 @@ class SearchEngine:
                 verdict = self._handle_solution(payload)
             if verdict is not None:
                 return verdict
-            if self._budget_exhausted():
+            if self._should_stop():
                 return Outcome.UNKNOWN
 
     # -- analysis plumbing ----------------------------------------------------------

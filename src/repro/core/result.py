@@ -80,11 +80,18 @@ class SolverStats:
 
 @dataclass
 class SolveResult:
-    """Outcome + cost of a solver run."""
+    """Outcome + cost of a solver run.
+
+    ``seconds`` accumulates across resumed attempts (the spent budget rides
+    along in the checkpoint); ``interrupted`` distinguishes a cooperative
+    preemption (SIGTERM/SIGINT via an interrupt flag) from an exhausted
+    budget — both report ``Outcome.UNKNOWN``.
+    """
 
     outcome: Outcome
     stats: SolverStats = field(default_factory=SolverStats)
     seconds: float = 0.0
+    interrupted: bool = False
 
     @property
     def timed_out(self) -> bool:

@@ -5,10 +5,12 @@ independent QUBE(TO)/QUBE(PO) runs per suite. This module fans those runs
 out over a ``multiprocessing`` worker pool with the three properties a
 trustworthy batch harness needs:
 
-* **hard wall-clock timeouts** — a run that exceeds ``wall_timeout`` is
-  killed by terminating its worker process, not merely asked to stop via the
-  solver's cooperative ``max_seconds`` check (which a pathological
-  propagation loop may never reach);
+* **hard wall-clock timeouts** — a run that exceeds ``wall_timeout`` has
+  its worker killed, not merely asked to stop via the solver's cooperative
+  ``max_seconds`` check (which a pathological propagation loop may never
+  reach). Killing escalates: SIGTERM first (the worker's handler flips the
+  solver's interrupt flag, letting it flush a checkpoint and report a
+  partial measurement), SIGKILL after a grace period;
 * **crash isolation** — a worker that dies (OOM kill, ``RecursionError``, a
   solver bug) produces a structured failure :class:`Record` for that one
   instance, with a bounded number of retries, instead of aborting the sweep;
@@ -25,9 +27,11 @@ bit-for-bit reproducible (crashes are still captured as failure records).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
+import signal
 import time
 import traceback
 from dataclasses import dataclass, fields, replace
@@ -43,6 +47,9 @@ from repro.evalx.runner import (
     solve_po,
     solve_to,
 )
+from repro.robustness.checkpoint import CheckpointError, load_checkpoint
+from repro.robustness.faults import FaultPlan
+from repro.robustness.interrupt import global_flag
 
 #: record statuses, in the JSONL ``status`` field.
 STATUS_OK = "ok"
@@ -96,6 +103,8 @@ def measurement_to_dict(m: Measurement) -> Dict[str, object]:
     if m.certificate_status is not None:
         out["certificate_status"] = m.certificate_status
         out["certificate_ok"] = m.certificate_ok
+    if m.interrupted:
+        out["interrupted"] = True
     return out
 
 
@@ -111,6 +120,7 @@ def measurement_from_dict(data: Dict[str, object]) -> Measurement:
         learned_cubes=data.get("learned_cubes", 0),
         stats=stats_from_dict(stats) if stats is not None else None,
         certificate_status=data.get("certificate_status"),
+        interrupted=bool(data.get("interrupted", False)),
     )
 
 
@@ -141,10 +151,23 @@ class Task:
     #: the certifying config (pure literals off), so their keys must not
     #: collide with uncertified runs of the same instance.
     certify: bool = False
+    #: directory for solver checkpoints. When set, a preempted or
+    #: hard-timed-out run flushes its search frontier there and a retry (or
+    #: a whole re-invoked sweep) resumes instead of restarting. Excluded
+    #: from the fingerprint: checkpoints are an execution detail, not part
+    #: of what the run measures.
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("po", "to"):
             raise ValueError("unknown task mode %r" % (self.mode,))
+
+    def checkpoint_path(self) -> Optional[str]:
+        """Per-key snapshot file under ``checkpoint_dir`` (None when off)."""
+        if self.checkpoint_dir is None:
+            return None
+        digest = hashlib.sha256("|".join(self.key).encode("utf-8")).hexdigest()[:16]
+        return os.path.join(self.checkpoint_dir, digest + ".ckpt")
 
     def fingerprint(self) -> str:
         """Stable digest of everything that shapes the run besides the formula.
@@ -185,6 +208,9 @@ class Record:
     measurement: Optional[Measurement] = None
     attempts: int = 1
     error: Optional[str] = None
+    #: cumulative seconds of deliberate retry backoff that preceded this
+    #: record (0.0 on first-attempt successes; serialized only when spent).
+    backoff: float = 0.0
 
     @property
     def key(self) -> Tuple[str, str, str]:
@@ -207,6 +233,8 @@ class Record:
             out["measurement"] = measurement_to_dict(self.measurement)
         if self.error is not None:
             out["error"] = self.error
+        if self.backoff:
+            out["backoff"] = round(self.backoff, 3)
         return out
 
     @classmethod
@@ -225,6 +253,7 @@ class Record:
             measurement=measurement_from_dict(m) if m is not None else None,
             attempts=data.get("attempts", 1),
             error=data.get("error"),
+            backoff=data.get("backoff", 0.0),
         )
 
 
@@ -240,25 +269,35 @@ def _failure_measurement(task: Task, seconds: float) -> Measurement:
 
 
 def execute_task(task: Task) -> Measurement:
-    """Run one task in the current process (the default worker body)."""
+    """Run one task in the current process (the default worker body).
+
+    With ``task.checkpoint_dir`` set, a valid snapshot from an earlier
+    preempted attempt is resumed (a torn or foreign one is ignored — the
+    run simply restarts), and the solver flushes a fresh snapshot if this
+    attempt is preempted in turn. The solver polls the process-global
+    interrupt flag, which :func:`_worker_main` wires to SIGTERM.
+    """
     overrides = dict(task.overrides)
+    ckpt_path = task.checkpoint_path()
+    resume = None
+    if ckpt_path is not None and os.path.exists(ckpt_path):
+        try:
+            resume = load_checkpoint(ckpt_path)
+        except CheckpointError:
+            resume = None  # detected by version/digest: fall back to fresh
+    common = dict(
+        budget=task.budget,
+        certify=task.certify,
+        interrupt=global_flag(),
+        resume_from=resume,
+        checkpoint_to=ckpt_path,
+    )
     if task.mode == "to":
         m = solve_to(
-            task.formula,
-            task.instance,
-            strategy=task.strategy,
-            budget=task.budget,
-            certify=task.certify,
-            **overrides
+            task.formula, task.instance, strategy=task.strategy, **dict(common, **overrides)
         )
     else:
-        m = solve_po(
-            task.formula,
-            task.instance,
-            budget=task.budget,
-            certify=task.certify,
-            **overrides
-        )
+        m = solve_po(task.formula, task.instance, **dict(common, **overrides))
     # The label is the task's business (DIA solves a pre-built prenex form in
     # "po" mode but records it as TO), so stamp it unconditionally.
     m.solver = task.solver
@@ -270,10 +309,18 @@ def execute_task(task: Task) -> Measurement:
 
 
 class ResultsLog:
-    """Append-only JSONL store of :class:`Record` rows keyed for resume."""
+    """Append-only JSONL store of :class:`Record` rows keyed for resume.
 
-    def __init__(self, path: str):
+    ``durable`` (the default) fsyncs after every append: an acknowledged
+    record must survive a machine crash, or the resume logic re-runs the
+    task against a results file that silently lost its history. ``faults``
+    optionally injects torn appends (tests/CI only).
+    """
+
+    def __init__(self, path: str, durable: bool = True, faults: Optional[FaultPlan] = None):
         self.path = path
+        self.durable = durable
+        self._faults = faults
         self._handle: Optional[IO[str]] = None
 
     def load(self) -> Dict[Tuple[str, str, str], Record]:
@@ -310,8 +357,18 @@ class ResultsLog:
                     check.seek(-1, os.SEEK_END)
                     if check.read(1) != b"\n":
                         self._handle.write("\n")
-        self._handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        if self._faults is not None and self._faults.torn_append(
+            "%s|%s" % (record.instance, record.solver)
+        ):
+            # Injected torn append: write half the line, no newline — what a
+            # crash mid-append leaves behind. load() skips the fragment and
+            # the next sweep re-runs the task.
+            line = line[: max(1, len(line) // 2)]
+        self._handle.write(line)
         self._handle.flush()
+        if self.durable:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -328,16 +385,39 @@ class ResultsLog:
 # -- the pool -----------------------------------------------------------------
 
 
-def _worker_main(task: Task, executor: Callable[[Task], Measurement], conn) -> None:
-    """Worker body: run the task, ship the result (or the traceback) back."""
+def _worker_main(
+    task: Task,
+    executor: Callable[[Task], Measurement],
+    conn,
+    attempt: int = 1,
+    faults: Optional[FaultPlan] = None,
+) -> None:
+    """Worker body: run the task, ship the result (or the traceback) back.
+
+    SIGTERM is routed to the process-global interrupt flag, so a graceful
+    parent-side preemption lets the solver flush a checkpoint and report a
+    partial measurement instead of dying mid-search; an executor that never
+    polls the flag is covered by the parent's SIGKILL escalation.
+
+    ``KeyboardInterrupt``/``SystemExit`` are reported as a crash record but
+    then *re-raised*: swallowing them would leave the worker running after
+    the user (or the interpreter) asked it to stop.
+    """
+    flag = global_flag()
+    flag.clear()  # fork inherits the parent's flag state; start clean
+    signal.signal(signal.SIGTERM, flag.set)
     try:
+        if faults is not None:
+            faults.on_worker_start(task, attempt)
         measurement = executor(task)
         conn.send((STATUS_OK, measurement_to_dict(measurement)))
-    except BaseException:
+    except BaseException as exc:
         try:
             conn.send((STATUS_CRASH, traceback.format_exc()))
         except Exception:
             pass  # parent will see the dead process and record a crash
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
     finally:
         conn.close()
 
@@ -353,6 +433,39 @@ class _Slot:
     attempt: int
     started: float
     deadline: Optional[float]
+    #: when the parent sent SIGTERM (graceful preemption); None before.
+    termed_at: Optional[float] = None
+    #: backoff seconds accumulated by this task's earlier retries.
+    backoff: float = 0.0
+
+
+@dataclass
+class _Pending:
+    """One queued (re)attempt, possibly delayed by retry backoff."""
+
+    index: int
+    task: Task
+    attempt: int
+    not_before: float = 0.0
+    backoff: float = 0.0
+
+
+def _retry_jitter(key: Tuple[str, str, str], attempt: int) -> float:
+    """Deterministic jitter fraction in [0, 1): hash of (key, attempt).
+
+    Deterministic so sweeps stay reproducible (and testable) while distinct
+    tasks still spread their retries instead of stampeding in lockstep.
+    """
+    seed = "%s|%s|%s|%d" % (key[0], key[1], key[2], attempt)
+    return int(hashlib.sha256(seed.encode("utf-8")).hexdigest()[:8], 16) / float(1 << 32)
+
+
+def _backoff_delay(base: float, key: Tuple[str, str, str], attempt: int) -> float:
+    """Exponential backoff before retrying ``attempt + 1``: the classic
+    ``base * 2^(attempt-1)``, scaled into [0.5, 1.0) by the jitter."""
+    if base <= 0:
+        return 0.0
+    return base * (2.0 ** (attempt - 1)) * (0.5 + 0.5 * _retry_jitter(key, attempt))
 
 
 def _mp_context():
@@ -371,6 +484,11 @@ def run_tasks(
     max_retries: int = 1,
     executor: Optional[Callable[[Task], Measurement]] = None,
     poll_interval: float = 0.01,
+    term_grace: float = 2.0,
+    retry_backoff: float = 0.5,
+    faults: Optional[FaultPlan] = None,
+    checkpoint_dir: Optional[str] = None,
+    durable: bool = True,
 ) -> List[Record]:
     """Run ``tasks`` and return one :class:`Record` per task, in task order.
 
@@ -382,21 +500,36 @@ def run_tasks(
         results: a :class:`ResultsLog`, a path string, or None. When given,
             already-recorded keys are skipped (resume) and every new record
             is appended as it completes.
-        wall_timeout: hard per-run seconds; exceeded runs have their worker
-            terminated and are recorded as ``hard-timeout``. Only enforced
-            with ``jobs > 1`` (a single process cannot kill itself safely);
-            serial runs still honor the budget's cooperative limits.
-        max_retries: how many times a *crashed* task is re-queued before a
-            crash record is written. Hard timeouts are not retried (killing
-            the same run later would only waste the budget again).
+        wall_timeout: hard per-run seconds; an exceeded run's worker gets
+            SIGTERM (a chance to checkpoint), then SIGKILL after
+            ``term_grace`` seconds. Only enforced with ``jobs > 1`` (a
+            single process cannot kill itself safely); serial runs still
+            honor the budget's cooperative limits.
+        max_retries: how many times a crashed or hard-timed-out task is
+            re-queued before its failure record is written. With
+            ``checkpoint_dir`` set, a hard-timeout retry resumes from the
+            checkpoint the SIGTERM salvaged, so the wall clock resets but
+            the search doesn't.
         executor: the task body, a picklable module-level callable mapping
             Task -> Measurement. Defaults to :func:`execute_task`; tests
             substitute crashing/hanging bodies to exercise fault isolation.
+        term_grace: seconds between SIGTERM and SIGKILL on a wall timeout.
+        retry_backoff: base seconds of the exponential crash-retry backoff
+            (deterministically jittered per task); 0 disables the delay.
+        faults: a :class:`repro.robustness.faults.FaultPlan` injecting
+            deterministic failures (tests/CI chaos legs).
+        checkpoint_dir: directory for per-task solver snapshots; stamped
+            onto every task (see :attr:`Task.checkpoint_dir`).
+        durable: fsync the results log after each append (see
+            :class:`ResultsLog`).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if executor is None:
         executor = execute_task
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        tasks = [replace(task, checkpoint_dir=checkpoint_dir) for task in tasks]
 
     log: Optional[ResultsLog]
     if results is None:
@@ -404,17 +537,21 @@ def run_tasks(
     elif isinstance(results, ResultsLog):
         log = results
     else:
-        log = ResultsLog(results)
+        log = ResultsLog(results, durable=durable, faults=faults)
     done: Dict[Tuple[str, str, str], Record] = log.load() if log is not None else {}
 
     out: List[Optional[Record]] = [None] * len(tasks)
-    pending: List[Tuple[int, Task, int]] = []  # (index, task, attempt)
+    pending: List[_Pending] = []
     for i, task in enumerate(tasks):
         cached = done.get(task.key)
         if cached is not None:
             out[i] = cached
         else:
-            pending.append((i, task, 1))
+            pending.append(_Pending(i, task, 1))
+    if faults is not None:
+        # Bind fault victims before any worker forks, so every process
+        # (and a rerun with the same seed) sees the same assignments.
+        faults.bind(FaultPlan.label(p.task) for p in pending)
 
     def finish(index: int, task: Task, record: Record) -> None:
         out[index] = record
@@ -423,12 +560,21 @@ def run_tasks(
             log.append(record)
 
     if jobs == 1:
-        for index, task, _ in pending:
-            record = _run_serial(task, executor, max_retries)
-            finish(index, task, record)
+        for p in pending:
+            record = _run_serial(p.task, executor, max_retries, retry_backoff, faults)
+            finish(p.index, p.task, record)
     else:
         _run_pool(
-            pending, jobs, executor, wall_timeout, max_retries, finish, poll_interval
+            pending,
+            jobs,
+            executor,
+            wall_timeout,
+            max_retries,
+            finish,
+            poll_interval,
+            term_grace,
+            retry_backoff,
+            faults,
         )
 
     if log is not None and not isinstance(results, ResultsLog):
@@ -438,16 +584,33 @@ def run_tasks(
 
 
 def _run_serial(
-    task: Task, executor: Callable[[Task], Measurement], max_retries: int
+    task: Task,
+    executor: Callable[[Task], Measurement],
+    max_retries: int,
+    retry_backoff: float = 0.0,
+    faults: Optional[FaultPlan] = None,
 ) -> Record:
+    """In-process execution: crash-as-record with retries, like the pool.
+
+    ``KeyboardInterrupt``/``SystemExit`` propagate — a serial sweep must
+    stop promptly on Ctrl-C, not convert the interrupt into a crash row and
+    march on.
+    """
     attempts = 0
+    backoff_spent = 0.0
     while True:
         attempts += 1
         start = time.monotonic()
         try:
+            if faults is not None:
+                faults.on_worker_start(task, attempts)
             measurement = executor(task)
         except Exception:
             if attempts <= max_retries:
+                delay = _backoff_delay(retry_backoff, task.key, attempts)
+                if delay > 0:
+                    time.sleep(delay)
+                    backoff_spent += delay
                 continue
             return Record(
                 instance=task.instance,
@@ -457,6 +620,7 @@ def _run_serial(
                 measurement=_failure_measurement(task, time.monotonic() - start),
                 attempts=attempts,
                 error=traceback.format_exc(),
+                backoff=backoff_spent,
             )
         return Record(
             instance=task.instance,
@@ -465,26 +629,32 @@ def _run_serial(
             status=STATUS_OK,
             measurement=measurement,
             attempts=attempts,
+            backoff=backoff_spent,
         )
 
 
 def _run_pool(
-    pending: List[Tuple[int, Task, int]],
+    pending: List[_Pending],
     jobs: int,
     executor: Callable[[Task], Measurement],
     wall_timeout: Optional[float],
     max_retries: int,
     finish: Callable[[int, Task, Record], None],
     poll_interval: float,
+    term_grace: float = 2.0,
+    retry_backoff: float = 0.5,
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     ctx = _mp_context()
-    queue: List[Tuple[int, Task, int]] = list(pending)
+    queue: List[_Pending] = list(pending)
     running: List[_Slot] = []
 
-    def spawn(index: int, task: Task, attempt: int) -> None:
+    def spawn(entry: _Pending) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
-            target=_worker_main, args=(task, executor, child_conn), daemon=True
+            target=_worker_main,
+            args=(entry.task, executor, child_conn, entry.attempt, faults),
+            daemon=True,
         )
         process.start()
         child_conn.close()  # parent keeps only the read end
@@ -493,11 +663,12 @@ def _run_pool(
             _Slot(
                 process=process,
                 conn=parent_conn,
-                index=index,
-                task=task,
-                attempt=attempt,
+                index=entry.index,
+                task=entry.task,
+                attempt=entry.attempt,
                 started=now,
                 deadline=(now + wall_timeout) if wall_timeout is not None else None,
+                backoff=entry.backoff,
             )
         )
 
@@ -513,6 +684,20 @@ def _run_pool(
         """Turn a worker's exit into a record or a retry."""
         task, attempt = slot.task, slot.attempt
         elapsed = time.monotonic() - slot.started
+        measurement: Optional[Measurement] = None
+        if status == STATUS_OK and isinstance(payload, dict):
+            measurement = measurement_from_dict(payload)
+        if (
+            status == STATUS_OK
+            and slot.termed_at is not None
+            and measurement is not None
+            and measurement.interrupted
+        ):
+            # Our SIGTERM preempted it: the worker reported gracefully (its
+            # checkpoint is on disk), but the *task* still overran the wall
+            # clock — classify as a hard timeout so a retry can resume.
+            status = STATUS_HARD_TIMEOUT
+            payload = "hard wall-clock timeout after %.1fs (checkpoint salvaged)" % elapsed
         if status == STATUS_OK:
             finish(
                 slot.index,
@@ -522,14 +707,35 @@ def _run_pool(
                     solver=task.solver,
                     fingerprint=task.fingerprint(),
                     status=STATUS_OK,
-                    measurement=measurement_from_dict(payload),
+                    measurement=measurement,
                     attempts=attempt,
+                    backoff=slot.backoff,
                 ),
             )
             return
-        if status == STATUS_CRASH and attempt <= max_retries:
-            queue.append((slot.index, task, attempt + 1))
-            return
+        if attempt <= max_retries:
+            if status == STATUS_CRASH:
+                # Exponential backoff with deterministic jitter: don't
+                # hammer a transiently failing (e.g. OOMing) box.
+                delay = _backoff_delay(retry_backoff, task.key, attempt)
+                queue.append(
+                    _Pending(
+                        slot.index,
+                        task,
+                        attempt + 1,
+                        not_before=time.monotonic() + delay,
+                        backoff=slot.backoff + delay,
+                    )
+                )
+                return
+            if status == STATUS_HARD_TIMEOUT:
+                # Immediate requeue: time was the failure, not the machine.
+                # With checkpointing on, the retry resumes the salvaged
+                # frontier instead of re-spending the whole wall budget.
+                queue.append(
+                    _Pending(slot.index, task, attempt + 1, backoff=slot.backoff)
+                )
+                return
         finish(
             slot.index,
             task,
@@ -538,17 +744,23 @@ def _run_pool(
                 solver=task.solver,
                 fingerprint=task.fingerprint(),
                 status=status,
-                measurement=_failure_measurement(task, elapsed),
+                measurement=measurement or _failure_measurement(task, elapsed),
                 attempts=attempt,
                 error=payload if isinstance(payload, str) else None,
+                backoff=slot.backoff,
             ),
         )
 
     try:
         while queue or running:
-            while queue and len(running) < jobs:
-                index, task, attempt = queue.pop(0)
-                spawn(index, task, attempt)
+            while len(running) < jobs:
+                now = time.monotonic()
+                ready = next(
+                    (i for i, p in enumerate(queue) if p.not_before <= now), None
+                )
+                if ready is None:
+                    break
+                spawn(queue.pop(ready))
             progressed = False
             now = time.monotonic()
             for slot in list(running):
@@ -563,24 +775,45 @@ def _run_pool(
                     settle(slot, result[0], result[1])
                     progressed = True
                 elif not slot.process.is_alive():
-                    # Dead without a message: hard crash (OOM kill, segfault).
                     exitcode = slot.process.exitcode
                     reap(slot)
-                    settle(
-                        slot,
-                        STATUS_CRASH,
-                        "worker died without reporting (exitcode %s)" % (exitcode,),
-                    )
+                    if slot.termed_at is not None:
+                        # Died after our SIGTERM without reporting: a hard
+                        # timeout that didn't manage to checkpoint.
+                        settle(
+                            slot,
+                            STATUS_HARD_TIMEOUT,
+                            "hard wall-clock timeout after %.1fs (exitcode %s)"
+                            % (now - slot.started, exitcode),
+                        )
+                    else:
+                        # Dead without a message: hard crash (OOM, segfault).
+                        settle(
+                            slot,
+                            STATUS_CRASH,
+                            "worker died without reporting (exitcode %s)" % (exitcode,),
+                        )
                     progressed = True
                 elif slot.deadline is not None and now > slot.deadline:
-                    slot.process.terminate()
-                    reap(slot)
-                    settle(
-                        slot,
-                        STATUS_HARD_TIMEOUT,
-                        "hard wall-clock timeout after %.1fs" % (now - slot.started),
-                    )
-                    progressed = True
+                    if slot.termed_at is None:
+                        # Kill escalation, step 1: SIGTERM. The worker's
+                        # handler flips the interrupt flag; a cooperative
+                        # solver checkpoints and reports within the grace.
+                        slot.process.terminate()
+                        slot.termed_at = now
+                    elif now - slot.termed_at > term_grace:
+                        # Step 2: the grace expired without a report — the
+                        # worker is wedged (or the executor never polls the
+                        # flag); SIGKILL cannot be ignored.
+                        slot.process.kill()
+                        reap(slot)
+                        settle(
+                            slot,
+                            STATUS_HARD_TIMEOUT,
+                            "hard wall-clock timeout after %.1fs (SIGKILL after %.1fs grace)"
+                            % (now - slot.started, term_grace),
+                        )
+                        progressed = True
             if not progressed:
                 time.sleep(poll_interval)
     finally:

@@ -25,6 +25,7 @@ from repro.evalx.parallel import (
     note_disagreement,
     run_tasks,
 )
+from repro.robustness.faults import FaultPlan
 from repro.evalx.runner import (
     Budget,
     Measurement,
@@ -72,8 +73,14 @@ class PairResult:
 # makes the sweep resumable (already-recorded runs are skipped).
 
 
-def _open_log(results_path: Optional[str]) -> Optional[ResultsLog]:
-    return ResultsLog(results_path) if results_path else None
+def _open_log(
+    results_path: Optional[str],
+    durable: bool = True,
+    faults: Optional["FaultPlan"] = None,
+) -> Optional[ResultsLog]:
+    if not results_path:
+        return None
+    return ResultsLog(results_path, durable=durable, faults=faults)
 
 
 def _engine_overrides(engine: str) -> Tuple[Tuple[str, object], ...]:
@@ -100,8 +107,17 @@ def _run_batch(
     jobs: int,
     log: Optional[ResultsLog],
     wall_timeout: Optional[float],
+    checkpoint_dir: Optional[str] = None,
+    faults: Optional["FaultPlan"] = None,
 ) -> Dict[Tuple[str, str], Measurement]:
-    records = run_tasks(tasks, jobs=jobs, results=log, wall_timeout=wall_timeout)
+    records = run_tasks(
+        tasks,
+        jobs=jobs,
+        results=log,
+        wall_timeout=wall_timeout,
+        checkpoint_dir=checkpoint_dir,
+        faults=faults,
+    )
     return measurements_by_key(records)
 
 
@@ -145,6 +161,9 @@ def run_ncf(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    checkpoint_dir: Optional[str] = None,
+    faults: Optional["FaultPlan"] = None,
+    durable: bool = True,
 ) -> List[PairResult]:
     """Run QUBE(TO) under each strategy and QUBE(PO) on the NCF sweep."""
     overrides = _engine_overrides(engine)
@@ -161,8 +180,8 @@ def run_ncf(
             tasks.append(Task(params.label, "PO", phi, "po", budget=budget,
                               overrides=overrides, certify=certify))
             meta.append((params.label, setting))
-    with_log = _open_log(results_path)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    with_log = _open_log(results_path, durable=durable, faults=faults)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
     results: List[PairResult] = []
     for label, setting in meta:
         to_runs = {s: by_key[(label, "TO(%s)" % s)] for s in strategies}
@@ -207,6 +226,9 @@ def run_fpv(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    checkpoint_dir: Optional[str] = None,
+    faults: Optional["FaultPlan"] = None,
+    durable: bool = True,
 ) -> List[PairResult]:
     """Run the FPV suite with the ∃↑∀↑ strategy (the paper's choice)."""
     overrides = _engine_overrides(engine)
@@ -219,8 +241,8 @@ def run_fpv(
         tasks.append(Task(params.label, "PO", phi, "po", budget=budget,
                           overrides=overrides, certify=certify))
         labels.append(params.label)
-    with_log = _open_log(results_path)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    with_log = _open_log(results_path, durable=durable, faults=faults)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
     results: List[PairResult] = []
     for label in labels:
         to_run = by_key[(label, "TO(%s)" % strategy)]
@@ -279,6 +301,9 @@ def run_dia(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    checkpoint_dir: Optional[str] = None,
+    faults: Optional["FaultPlan"] = None,
+    durable: bool = True,
 ) -> List[PairResult]:
     """Run TO/PO on every DIA instance (prenex form == equation (16))."""
     overrides = _engine_overrides(engine)
@@ -293,8 +318,8 @@ def run_dia(
         tasks.append(Task(label, "TO(eq16)", flat, "po", budget=budget,
                           overrides=overrides, certify=certify))
         labels.append(label)
-    with_log = _open_log(results_path)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    with_log = _open_log(results_path, durable=durable, faults=faults)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
     results: List[PairResult] = []
     for label in labels:
         po_run = by_key[(label, "PO")]
@@ -432,6 +457,9 @@ def run_eval06(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    checkpoint_dir: Optional[str] = None,
+    faults: Optional["FaultPlan"] = None,
+    durable: bool = True,
 ) -> Tuple[List[PairResult], int]:
     """The Figure-7 pipeline: miniscope, filter by PO/TO ratio, compare.
 
@@ -455,8 +483,8 @@ def run_eval06(
         tasks.append(Task(label, "PO", tree, "po", budget=budget,
                           overrides=overrides, certify=certify))
         labels.append(label)
-    with_log = _open_log(results_path)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout)
+    with_log = _open_log(results_path, durable=durable, faults=faults)
+    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
     results: List[PairResult] = []
     for label in labels:
         to_run = by_key[(label, "TO(eu_au)")]

@@ -299,3 +299,106 @@ class TestSuiteIntegration:
                         results_path=path)
         assert sum(1 for _ in open(path)) == lines_after_first
         assert [r.instance for r in first] == [r.instance for r in again]
+
+
+def raise_keyboard_interrupt(task):
+    raise KeyboardInterrupt
+
+
+def raise_system_exit(task):
+    raise SystemExit(1)
+
+
+class _PipeStub:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, payload):
+        self.sent.append(payload)
+
+    def close(self):
+        pass
+
+
+class TestPreemptionPlumbing:
+    def test_record_roundtrip_with_backoff(self):
+        task = make_tasks(["i"])[0]
+        rec = Record(
+            instance="i",
+            solver="PO",
+            fingerprint=task.fingerprint(),
+            status=STATUS_CRASH,
+            measurement=execute_task(task),
+            attempts=3,
+            backoff=1.25,
+        )
+        assert Record.from_dict(rec.to_dict()) == rec
+
+    def test_backoff_absent_from_row_when_zero(self):
+        task = make_tasks(["i"])[0]
+        rec = Record(
+            instance="i",
+            solver="PO",
+            fingerprint=task.fingerprint(),
+            status=STATUS_OK,
+            measurement=execute_task(task),
+        )
+        assert "backoff" not in rec.to_dict()
+
+    def test_worker_main_reraises_keyboard_interrupt(self):
+        # Regression: the worker used to swallow KeyboardInterrupt into a
+        # crash record and keep the process alive after Ctrl-C.
+        from repro.evalx.parallel import _worker_main
+
+        conn = _PipeStub()
+        with pytest.raises(KeyboardInterrupt):
+            _worker_main(make_tasks(["i"])[0], raise_keyboard_interrupt, conn)
+        # ...but it still reports the crash to the parent first.
+        assert conn.sent and conn.sent[0][0] == STATUS_CRASH
+
+    def test_worker_main_reraises_system_exit(self):
+        from repro.evalx.parallel import _worker_main
+
+        conn = _PipeStub()
+        with pytest.raises(SystemExit):
+            _worker_main(make_tasks(["i"])[0], raise_system_exit, conn)
+        assert conn.sent and conn.sent[0][0] == STATUS_CRASH
+
+    def test_serial_runner_propagates_keyboard_interrupt(self):
+        # A serial sweep must stop on Ctrl-C, not record it and march on.
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(make_tasks(["a"]), jobs=1, executor=raise_keyboard_interrupt)
+
+    def test_crash_retry_records_backoff(self):
+        records = run_tasks(
+            make_tasks(["bad-1"]),
+            jobs=1,
+            executor=crash_on_bad,
+            max_retries=2,
+            retry_backoff=0.01,
+        )
+        assert records[0].status == STATUS_CRASH
+        assert records[0].attempts == 3
+        assert records[0].backoff > 0
+
+    def test_backoff_is_deterministic(self):
+        from repro.evalx.parallel import _backoff_delay
+
+        key = ("i", "PO", "fp")
+        assert _backoff_delay(0.5, key, 1) == _backoff_delay(0.5, key, 1)
+        # exponential: attempt 2's delay window doubles attempt 1's
+        assert _backoff_delay(0.5, key, 2) > _backoff_delay(0.5, key, 1)
+        assert _backoff_delay(0.0, key, 1) == 0.0
+
+    def test_pool_crash_retry_records_backoff(self):
+        records = run_tasks(
+            make_tasks(["bad-1", "a"]),
+            jobs=2,
+            executor=crash_on_bad,
+            max_retries=1,
+            retry_backoff=0.02,
+        )
+        by_instance = {r.instance: r for r in records}
+        assert by_instance["bad-1"].status == STATUS_CRASH
+        assert by_instance["bad-1"].backoff > 0
+        assert by_instance["a"].backoff == 0.0
