@@ -1,0 +1,42 @@
+"""Kernel throughput on the pinned Figure-6 counter series.
+
+The pytest face of ``repro bench`` (see :mod:`repro.bench`): runs the full
+series under both propagation backends with the pure-literal rule on and
+off, asserts the decision-for-decision engine contract, pins the series'
+decision counts to the PR-3 anchor, and leaves the schema-versioned
+``BENCH_kernels.json`` report in ``benchmarks/results/`` next to the other
+reproduction artefacts. Wall-clock and throughput are recorded, never
+asserted — only the platform-independent decision columns gate.
+"""
+
+import json
+import os
+
+from common import RESULTS_DIR, save
+from repro.bench import FULL_SERIES, render_report, run_bench, run_series, write_report
+
+#: Decision totals of the full series, fixed since the PR-3 layered engine
+#: (pre-kernel) and reproduced literally by the flat-array kernels. The
+#: series is pinned-seed and decision-budgeted, so these are exact on every
+#: host. Update them *deliberately* when a PR intends to change the search
+#: (heuristic or propagation-order changes) — never to quiet a failure.
+PINNED_DECISIONS = {True: 13103, False: 35669}
+
+
+def test_kernel_bench(benchmark):
+    kwargs = dict(engine="counters", pure=True, **FULL_SERIES)
+    benchmark.pedantic(lambda: run_series(**kwargs), rounds=1, iterations=1)
+
+    report = run_bench()  # raises EngineDivergence on any identity break
+    assert report["decision_identity_ok"]
+    for config in report["configs"]:
+        pure = config["pure_literals"]
+        assert config["decisions"] == PINNED_DECISIONS[pure], (
+            config["key"], config["decisions"], PINNED_DECISIONS[pure],
+        )
+
+    write_report(report, os.path.join(RESULTS_DIR, "BENCH_kernels.json"))
+    save("BENCH_kernels.txt", render_report(report))
+    # round-trip: the artefact must parse and carry its schema tag
+    with open(os.path.join(RESULTS_DIR, "BENCH_kernels.json")) as handle:
+        assert json.load(handle)["schema"] == "repro-bench/1"

@@ -9,6 +9,7 @@ Usage examples::
     python -m repro.cli generate ncf --dep 6 --var 4 --cls 12 --lpc 5 -o x.qtree
     python -m repro.cli stats instance.qtree
     python -m repro.cli evalx run ncf --jobs 4 --results ncf.jsonl
+    python -m repro.cli bench --quick -o BENCH_kernels.json
     python -m repro.cli certify emit instance.qtree -o proof.jsonl
     python -m repro.cli certify check instance.qtree proof.jsonl
     python -m repro.cli certify stats proof.jsonl
@@ -274,6 +275,24 @@ def cmd_evalx_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the kernel benchmark harness; emit BENCH_kernels.json."""
+    from repro.bench import EngineDivergence, render_report, run_bench, write_report
+
+    try:
+        report = run_bench(quick=args.quick, profile=args.profile)
+    except EngineDivergence as exc:
+        # persist the divergent report for triage, then fail loudly
+        write_report(exc.report, args.output)
+        print(render_report(exc.report))
+        print("FAILED: %s (report in %s)" % (exc, args.output), file=sys.stderr)
+        return 1
+    write_report(report, args.output)
+    print(render_report(report))
+    print("report written to %s" % args.output)
+    return 0
+
+
 def cmd_certify_emit(args: argparse.Namespace) -> int:
     """Solve while logging the resolution proof; self-check unless asked not to."""
     from repro.certify import (
@@ -397,6 +416,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="describe an instance")
     p_stats.add_argument("input")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="kernel benchmark: pinned fig6 series, both engines, "
+        "decision-identity check, schema-versioned JSON report",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke series (one model size, short budget); skips the "
+        "baseline comparison, keeps the cross-engine identity check",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="wrap each configuration in cProfile and embed the top "
+        "functions by cumulative time in the report",
+    )
+    p_bench.add_argument(
+        "-o", "--output", default="BENCH_kernels.json", metavar="OUT.JSON",
+        help="report path (default: %(default)s)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_cert = sub.add_parser(
         "certify", help="clause/term resolution certificates (emit, check, stats)"

@@ -12,7 +12,7 @@ from repro.core.constraints import (
 )
 from repro.core.expansion import evaluate
 from repro.core.formula import QBF, paper_example
-from repro.core.heuristics import ScoreKeeper, pick_literal
+from repro.core.heuristics import ScoreKeeper, make_picker, pick_literal
 from repro.core.literals import EXISTS, FORALL, Quant, neg, var_of
 from repro.core.prefix import Block, Prefix
 from repro.core.result import (
@@ -48,6 +48,7 @@ __all__ = [
     "is_contradictory",
     "neg",
     "paper_example",
+    "make_picker",
     "pick_literal",
     "q_dll",
     "resolve",

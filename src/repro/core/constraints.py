@@ -106,14 +106,39 @@ def universal_reduce(lits: Sequence[int], prefix: Prefix) -> Tuple[int, ...]:
 
     A universal literal survives only if some existential literal of the
     clause lies in its scope (``|l| ≺ |l'|``).
+
+    Runs on the prefix's flat tables — the analyses call this after every
+    resolution step, so the ``≺`` test is inlined over the level/DFS-interval
+    arrays instead of going through ``prec``'s block lookups.
     """
-    existentials = [l for l in lits if prefix.is_existential(l)]
+    tab = prefix.tables()
+    is_exist = tab.is_exist
+    evars = []
+    has_universal = False
+    for lit in lits:
+        v = lit if lit > 0 else -lit
+        if is_exist[v]:
+            evars.append(v)
+        else:
+            has_universal = True
+    if not has_universal:
+        return tuple(lits)
+    level = tab.level
+    din = tab.din
+    dout = tab.dout
     kept = []
     for lit in lits:
-        if prefix.is_existential(lit):
+        v = lit if lit > 0 else -lit
+        if is_exist[v]:
             kept.append(lit)
-        elif any(prefix.prec(lit, e) for e in existentials):
-            kept.append(lit)
+        else:
+            v_level = level[v]
+            v_din = din[v]
+            v_dout = dout[v]
+            for e in evars:
+                if v_level < level[e] and v_din <= din[e] <= v_dout:
+                    kept.append(lit)
+                    break
     return tuple(kept)
 
 
@@ -121,15 +146,37 @@ def existential_reduce(lits: Sequence[int], prefix: Prefix) -> Tuple[int, ...]:
     """Apply the dual of Lemma 3 to cube literals: drop trailing existentials.
 
     An existential literal survives only if some universal literal of the
-    cube lies in its scope.
+    cube lies in its scope. Exact dual of :func:`universal_reduce`, on the
+    same flat tables.
     """
-    universals = [l for l in lits if prefix.is_universal(l)]
+    tab = prefix.tables()
+    is_exist = tab.is_exist
+    uvars = []
+    has_existential = False
+    for lit in lits:
+        v = lit if lit > 0 else -lit
+        if is_exist[v]:
+            has_existential = True
+        else:
+            uvars.append(v)
+    if not has_existential:
+        return tuple(lits)
+    level = tab.level
+    din = tab.din
+    dout = tab.dout
     kept = []
     for lit in lits:
-        if prefix.is_universal(lit):
+        v = lit if lit > 0 else -lit
+        if not is_exist[v]:
             kept.append(lit)
-        elif any(prefix.prec(lit, u) for u in universals):
-            kept.append(lit)
+        else:
+            v_level = level[v]
+            v_din = din[v]
+            v_dout = dout[v]
+            for u in uvars:
+                if v_level < level[u] and v_din <= din[u] <= v_dout:
+                    kept.append(lit)
+                    break
     return tuple(kept)
 
 

@@ -51,9 +51,25 @@ class Rec:
     the counter backend, and under the watched backend only as the
     pure-literal sidecar). ``w1``/``w2``/``blocker`` are the watched
     backend's lazy memos; the counter backend never touches them.
+
+    ``prim``/``sec`` are the constraint's literals split by the primary
+    quantifier of its kind (existential for clauses, universal for cubes),
+    each preserving literal order. They are immutable once installed; the
+    examine scan iterates them instead of re-testing the quantifier of
+    every literal on every visit.
     """
 
-    __slots__ = ("constraint", "n_true", "n_false", "original", "w1", "w2", "blocker")
+    __slots__ = (
+        "constraint",
+        "n_true",
+        "n_false",
+        "original",
+        "w1",
+        "w2",
+        "blocker",
+        "prim",
+        "sec",
+    )
 
     def __init__(self, constraint: Constraint, original: bool):
         self.constraint = constraint
@@ -63,6 +79,8 @@ class Rec:
         self.w1 = 0
         self.w2 = 0
         self.blocker = 0
+        self.prim: Tuple[int, ...] = ()
+        self.sec: Tuple[int, ...] = ()
 
     @property
     def lits(self) -> Tuple[int, ...]:
@@ -92,6 +110,7 @@ class PropagationBackend:
         self.trail = trail
         self.keeper = keeper
         self._lit_value = trail.lit_value
+        self._tab = prefix.tables()
         self._track_pure = config.pure_literals
         self.clause_occ: Dict[int, List[Rec]] = {}
         self.cube_occ: Dict[int, List[Rec]] = {}
@@ -140,11 +159,23 @@ class PropagationBackend:
                 continue
             seen.add(reduced)
             rec = Rec(Clause(reduced), original=True)
+            self._split_primaries(rec)
             self.orig_clauses.append(rec)
             self._install_clause(rec)
         self.n_unsat_orig = len(self.orig_clauses)
         self.keeper.bump_initial([r.lits for r in self.orig_clauses])
         self.pure_candidates.update(self.prefix.variables)
+
+    def _split_primaries(self, rec: Rec) -> None:
+        """Precompute the record's primary/secondary literal tuples, in
+        literal order, so no examine scan ever re-tests a quantifier."""
+        is_exist = self._tab.is_exist
+        if rec.is_cube:
+            rec.prim = tuple(l for l in rec.lits if not is_exist[l if l > 0 else -l])
+            rec.sec = tuple(l for l in rec.lits if is_exist[l if l > 0 else -l])
+        else:
+            rec.prim = tuple(l for l in rec.lits if is_exist[l if l > 0 else -l])
+            rec.sec = tuple(l for l in rec.lits if not is_exist[l if l > 0 else -l])
 
     def _install_clause(self, rec: Rec) -> None:
         raise NotImplementedError
@@ -171,6 +202,7 @@ class PropagationBackend:
         if rec is not None:
             return rec
         rec = Rec(Clause(lits, learned=True), original=False)
+        self._split_primaries(rec)
         self.learned_clauses[lits] = rec
         self._install_learned_clause(rec)
         self.stats.learned_clauses += 1
@@ -183,6 +215,7 @@ class PropagationBackend:
         if rec is not None:
             return rec
         rec = Rec(Cube(lits, learned=True), original=False)
+        self._split_primaries(rec)
         self.learned_cubes[lits] = rec
         self._install_learned_cube(rec)
         self.stats.learned_cubes += 1
@@ -210,27 +243,37 @@ class PropagationBackend:
         only ever taken by lazy backends). When ``refreshes_watches`` is
         set, the scan re-aims the record's watch memos at the first two
         unassigned primaries it saw.
+
+        The scan runs on the flat kernels: literal truth is one probe of the
+        trail's literal-indexed value array, the primary/secondary split is
+        precomputed per record (``rec.prim``/``rec.sec``), and the blocking
+        test inlines ``prec`` over the prefix's flat level/DFS-interval
+        tables. Scanning primaries before secondaries only changes which
+        defused literal lands in the blocker memo — a cost-only cache —
+        never the produced events.
         """
-        prefix = self.prefix
-        value = self._lit_value
+        lit_val = self.trail.lit_val
+        base = self.trail.base
         if is_cube:
             self.stats.cube_visits += 1
-            primary_is = prefix.is_universal
-            defused = False
+            defused = -1  # a false literal kills a cube
         else:
             self.stats.clause_visits += 1
-            primary_is = prefix.is_existential
-            defused = True
+            defused = 1  # a true literal satisfies a clause
         unassigned_p: List[int] = []
+        for lit in rec.prim:
+            val = lit_val[base + lit]
+            if val == 0:
+                unassigned_p.append(lit)
+            elif val == defused:
+                rec.blocker = lit
+                return None
         unassigned_s: List[int] = []
-        for lit in rec.lits:
-            val = value(lit)
-            if val is None:
-                if primary_is(lit):
-                    unassigned_p.append(lit)
-                else:
-                    unassigned_s.append(lit)
-            elif val is defused:
+        for lit in rec.sec:
+            val = lit_val[base + lit]
+            if val == 0:
+                unassigned_s.append(lit)
+            elif val == defused:
                 rec.blocker = lit
                 return None
         if self.refreshes_watches and unassigned_p:
@@ -244,7 +287,18 @@ class PropagationBackend:
             return (SOLUTION if is_cube else CONFLICT, rec)
         if len(unassigned_p) == 1:
             p = unassigned_p[0]
-            if all(not prefix.prec(s, p) for s in unassigned_s):
+            tab = self._tab
+            level = tab.level
+            din = tab.din
+            pv = p if p > 0 else -p
+            p_level = level[pv]
+            p_din = din[pv]
+            dout = tab.dout
+            for s in unassigned_s:
+                sv = s if s > 0 else -s
+                if level[sv] < p_level and din[sv] <= p_din <= dout[sv]:
+                    break  # an unassigned secondary precedes p: not unit
+            else:
                 self.stats.propagations += 1
                 self.assign(-p if is_cube else p, rec)
         return None
@@ -284,24 +338,26 @@ class PropagationBackend:
         and the cubes' ``n_false`` sidecar, which every backend maintains
         whenever ``config.pure_literals`` is on.
         """
-        from repro.core.literals import EXISTS
-
         assigned = False
         candidates = sorted(self.pure_candidates)
         self.pure_candidates.clear()
         value = self.trail.value
+        is_exist = self._tab.is_exist
+        occ_unsat = self.occ_unsat
+        cube_count = self.cube_count
+        cube_occ = self.cube_occ
         for v in candidates:
             if value[v] != 0:
                 continue
-            if self.prefix.quant(v) is EXISTS:
-                options = [l for l in (v, -v) if self.occ_unsat[-l] == 0]
+            if is_exist[v]:
+                options = [l for l in (v, -v) if occ_unsat[-l] == 0]
             else:
-                options = [l for l in (v, -v) if self.occ_unsat[l] == 0]
+                options = [l for l in (v, -v) if occ_unsat[l] == 0]
             options = [
                 l
                 for l in options
-                if self.cube_count[l] == 0
-                or all(rec.n_false > 0 for rec in self.cube_occ[l])
+                if cube_count[l] == 0
+                or all(rec.n_false > 0 for rec in cube_occ[l])
             ]
             if options:
                 self.stats.pure_literals += 1

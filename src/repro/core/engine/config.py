@@ -33,6 +33,17 @@ def default_engine() -> str:
     return os.environ.get("REPRO_ENGINE", "counters")
 
 
+def default_paranoid() -> bool:
+    """Debug-assertion default: the REPRO_PARANOID environment knob.
+
+    When truthy (anything but empty/``0``), the trail's release-path
+    invariant checks — e.g. the double-assignment guard in ``Trail.push`` —
+    stay active. Off by default: the guards sit on the hottest loop in the
+    solver and only ever fire on engine bugs, never on user input.
+    """
+    return os.environ.get("REPRO_PARANOID", "") not in ("", "0")
+
+
 @dataclass
 class SolverConfig:
     """Feature switches of one engine instance.
@@ -59,6 +70,10 @@ class SolverConfig:
     #: propagation backend (see ENGINES). Purely an implementation choice:
     #: every backend must produce the same decisions, trail and outcome.
     engine: str = field(default_factory=default_engine)
+    #: keep the trail's hot-path invariant guards (double-assignment check
+    #: in push) active. Diagnostic only — never changes decisions — so it is
+    #: excluded from checkpoint config digests, like `engine`.
+    paranoid: bool = field(default_factory=default_paranoid)
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:

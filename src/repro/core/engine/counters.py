@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.core.engine.backend import MODEL, PropagationBackend, Rec
-from repro.core.literals import var_of
 
 
 class CounterBackend(PropagationBackend):
@@ -55,12 +54,11 @@ class CounterBackend(PropagationBackend):
     def backtrack(self, to_level: int) -> None:
         trail = self.trail
         target = trail.level_start[to_level + 1]
-        value = trail.value
-        reason = trail.reason
+        unassign = trail.unassign
+        clause_occ = self.clause_occ
+        cube_occ = self.cube_occ
+        pure_candidates = self.pure_candidates
         for lit in reversed(trail.lits[target:]):
-            v = var_of(lit)
-            value[v] = 0
-            reason[v] = None
             # A variable that becomes unassigned may be pure in the restored
             # state (its candidacy was consumed further down this branch,
             # possibly while it was assigned and hence skipped by
@@ -69,16 +67,16 @@ class CounterBackend(PropagationBackend):
             # through the dive, failing the purity test deeper implies
             # failing it in every ancestor state, since unassigning can only
             # add unsatisfied occurrences and revive learned cubes.
-            self.pure_candidates.add(v)
-            for rec in self.clause_occ[lit]:
+            pure_candidates.add(unassign(lit))
+            for rec in clause_occ[lit]:
                 rec.n_true -= 1
                 if rec.n_true == 0:
                     self._on_clause_unsat(rec)
-            for rec in self.clause_occ[-lit]:
+            for rec in clause_occ[-lit]:
                 rec.n_false -= 1
-            for rec in self.cube_occ[-lit]:
+            for rec in cube_occ[-lit]:
                 rec.n_false -= 1
-            for rec in self.cube_occ[lit]:
+            for rec in cube_occ[lit]:
                 rec.n_true -= 1
         trail.shrink(to_level, target)
 
@@ -90,16 +88,19 @@ class CounterBackend(PropagationBackend):
         """
         trail = self.trail
         examine = self._examine
+        lits = trail.lits  # stable alias: push appends / shrink dels in place
+        clause_occ = self.clause_occ
+        cube_occ = self.cube_occ
         while True:
-            while trail.queue_head < len(trail.lits):
-                lit = trail.lits[trail.queue_head]
+            while trail.queue_head < len(lits):
+                lit = lits[trail.queue_head]
                 trail.queue_head += 1
-                for rec in self.clause_occ[-lit]:
+                for rec in clause_occ[-lit]:
                     if rec.n_true == 0:
                         event = examine(rec, False)
                         if event is not None:
                             return event
-                for rec in self.cube_occ[lit]:
+                for rec in cube_occ[lit]:
                     if rec.n_false == 0:
                         event = examine(rec, True)
                         if event is not None:
@@ -111,14 +112,16 @@ class CounterBackend(PropagationBackend):
             return None
 
     def _install_learned_clause(self, rec: Rec) -> None:
+        lit_val = self.trail.lit_val
+        base = self.trail.base
         sat = False
         for lit in rec.lits:
             self.clause_occ[lit].append(rec)
-            val = self._lit_value(lit)
-            if val is True:
+            val = lit_val[base + lit]
+            if val == 1:
                 rec.n_true += 1
                 sat = True
-            elif val is False:
+            elif val == -1:
                 rec.n_false += 1
         if not sat:
             for lit in rec.lits:
@@ -129,11 +132,13 @@ class CounterBackend(PropagationBackend):
             pass
 
     def _install_learned_cube(self, rec: Rec) -> None:
+        lit_val = self.trail.lit_val
+        base = self.trail.base
         for lit in rec.lits:
             self.cube_occ[lit].append(rec)
             self.cube_count[lit] += 1
-            val = self._lit_value(lit)
-            if val is True:
+            val = lit_val[base + lit]
+            if val == 1:
                 rec.n_true += 1
-            elif val is False:
+            elif val == -1:
                 rec.n_false += 1

@@ -20,7 +20,7 @@ from repro.core.engine.counters import CounterBackend
 from repro.core.engine.trail import Trail
 from repro.core.engine.watched import WatchedBackend
 from repro.core.formula import QBF
-from repro.core.heuristics import ScoreKeeper, pick_literal
+from repro.core.heuristics import ScoreKeeper, make_picker
 from repro.core.learning import (
     Backjump,
     Terminal,
@@ -72,9 +72,11 @@ class SearchEngine:
         self.prefix = formula.prefix
         self.stats = SolverStats()
         nv = max(self.prefix.variables, default=0)
-        self.trail = Trail(nv)
+        self.trail = Trail(nv, prefix=self.prefix, paranoid=self.config.paranoid)
         self._lit_value = self.trail.lit_value
         self._keeper = ScoreKeeper(self.prefix, decay_interval=self.config.decay_interval)
+        # The branching closure is built once here (not per decision).
+        self._pick = make_picker(self.config.policy, self._keeper)
         backend_cls = self.backend_override or BACKENDS[self.config.engine]
         self.backend: PropagationBackend = backend_cls(
             formula, self.prefix, self.config, self.stats, self.trail, self._keeper
@@ -87,6 +89,10 @@ class SearchEngine:
             pos_of=lambda v: self.trail.pos[v],
             reason_of=self._reason_constraint,
             prefix=self.prefix,
+            lit_val=self.trail.lit_val,
+            base=self.trail.base,
+            level_arr=self.trail.level,
+            pos_arr=self.trail.pos,
         )
         self._deadline: Optional[float] = None
 
@@ -112,6 +118,11 @@ class SearchEngine:
         tree. The walk carries two flags: pending variables in ancestors of
         strictly lower level (blocks them) and pending variables in
         ancestors of the same level (blocks only deeper levels).
+
+        This is the *reference* computation: ``_decide`` uses the trail's
+        incrementally maintained frontier (``Trail.available_vars``), which
+        must return exactly this list in exactly this order — a contract
+        enforced by the frontier property tests.
         """
         out: List[int] = []
         value = self.trail.value
@@ -134,8 +145,7 @@ class SearchEngine:
 
     def _decide(self) -> bool:
         """Branch on a heuristic literal; False when no variable remains."""
-        available = self._available_vars()
-        lit = pick_literal(self.config.policy, self._keeper, available)
+        lit = self._pick(self.trail.available_vars())
         if lit is None:
             return False
         self.stats.decisions += 1

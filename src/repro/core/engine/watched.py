@@ -46,7 +46,6 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.core.engine.backend import MODEL, PropagationBackend, Rec
-from repro.core.literals import var_of
 
 
 class WatchedBackend(PropagationBackend):
@@ -67,7 +66,7 @@ class WatchedBackend(PropagationBackend):
         # Aim the watches at the first two existentials; every installed
         # clause has at least one (an all-universal clause reduces to the
         # empty clause and never gets here), and nothing is assigned yet.
-        prim = [l for l in rec.lits if self.prefix.is_existential(l)]
+        prim = rec.prim
         rec.w1 = prim[0]
         rec.w2 = prim[1] if len(prim) > 1 else 0
 
@@ -90,30 +89,27 @@ class WatchedBackend(PropagationBackend):
     def backtrack(self, to_level: int) -> None:
         trail = self.trail
         target = trail.level_start[to_level + 1]
-        value = trail.value
-        reason = trail.reason
+        unassign = trail.unassign
         if self._track_pure:
+            clause_occ = self.clause_occ
+            cube_occ = self.cube_occ
+            pure_candidates = self.pure_candidates
             for lit in reversed(trail.lits[target:]):
-                v = var_of(lit)
-                value[v] = 0
-                reason[v] = None
                 # see CounterBackend.backtrack for why exactly the
                 # unassigned variables re-enter the candidate set.
-                self.pure_candidates.add(v)
-                for rec in self.clause_occ[lit]:
+                pure_candidates.add(unassign(lit))
+                for rec in clause_occ[lit]:
                     rec.n_true -= 1
                     if rec.n_true == 0:
                         self._on_clause_unsat(rec)
-                for rec in self.cube_occ[-lit]:
+                for rec in cube_occ[-lit]:
                     rec.n_false -= 1
         else:
             # No sidecar to unwind: unassigning is O(1) per literal. The
             # watch/blocker memos repair themselves against the live
             # assignment, so none of them needs touching here either.
             for lit in reversed(trail.lits[target:]):
-                v = var_of(lit)
-                value[v] = 0
-                reason[v] = None
+                unassign(lit)
         trail.shrink(to_level, target)
 
     def propagate(self) -> Optional[Tuple[str, object]]:
@@ -128,14 +124,16 @@ class WatchedBackend(PropagationBackend):
         effect.
         """
         trail = self.trail
-        raw = trail.value
+        lit_val = trail.lit_val  # literal-indexed: 1 true, -1 false, 0 open
+        base = trail.base
+        lits = trail.lits  # stable alias: push appends / shrink dels in place
         examine = self._examine
         clause_occ = self.clause_occ
         cube_occ = self.cube_occ
         track = self._track_pure
         while True:
-            while trail.queue_head < len(trail.lits):
-                lit = trail.lits[trail.queue_head]
+            while trail.queue_head < len(lits):
+                lit = lits[trail.queue_head]
                 trail.queue_head += 1
                 if track:
                     # The pure-literal sidecar keeps n_true/n_false exact,
@@ -143,12 +141,11 @@ class WatchedBackend(PropagationBackend):
                     # spend the watch memos purely on skipping body scans.
                     for rec in clause_occ[-lit]:
                         if rec.n_true == 0:
-                            w1 = rec.w1
                             w2 = rec.w2
                             if (
                                 w2
-                                and raw[w1 if w1 > 0 else -w1] == 0
-                                and raw[w2 if w2 > 0 else -w2] == 0
+                                and lit_val[base + rec.w1] == 0
+                                and lit_val[base + w2] == 0
                             ):
                                 continue  # two unassigned existentials
                             event = examine(rec, False)
@@ -156,46 +153,42 @@ class WatchedBackend(PropagationBackend):
                                 return event
                     for rec in cube_occ[lit]:
                         if rec.n_false == 0:
-                            w1 = rec.w1
                             w2 = rec.w2
                             if (
                                 w2
-                                and raw[w1 if w1 > 0 else -w1] == 0
-                                and raw[w2 if w2 > 0 else -w2] == 0
+                                and lit_val[base + rec.w1] == 0
+                                and lit_val[base + w2] == 0
                             ):
                                 continue  # two unassigned universals
                             event = examine(rec, True)
                             if event is not None:
                                 return event
                     continue
-                # No counters anywhere: the memos carry the whole test.
-                # Values are read straight off the trail's raw array
-                # (value[v] in {-1, 0, 1}); a literal l is true iff its
-                # variable's entry is nonzero with the sign of l.
+                # No counters anywhere: the memos carry the whole test,
+                # with literal truth read in one probe of lit_val.
                 for rec in clause_occ[-lit]:
                     b = rec.blocker
-                    if b and raw[b if b > 0 else -b] == (1 if b > 0 else -1):
+                    if b and lit_val[base + b] == 1:
                         continue  # cached satisfying literal still true
                     w1 = rec.w1
                     w2 = rec.w2
                     if w2:
-                        v1 = raw[w1 if w1 > 0 else -w1]
-                        v2 = raw[w2 if w2 > 0 else -w2]
+                        v1 = lit_val[base + w1]
+                        v2 = lit_val[base + w2]
                         if v1 == 0:
                             if v2 == 0:
                                 continue  # two unassigned existentials
-                            if (v2 > 0) == (w2 > 0):
+                            if v2 == 1:
                                 rec.blocker = w2
                                 continue  # watch satisfies the clause
-                        elif (v1 > 0) == (w1 > 0):
+                        elif v1 == 1:
                             rec.blocker = w1
                             continue
-                        elif v2 != 0 and (v2 > 0) == (w2 > 0):
+                        elif v2 == 1:
                             rec.blocker = w2
                             continue
                     elif w1:
-                        v1 = raw[w1 if w1 > 0 else -w1]
-                        if v1 != 0 and (v1 > 0) == (w1 > 0):
+                        if lit_val[base + w1] == 1:
                             rec.blocker = w1
                             continue
                     event = examine(rec, False)
@@ -203,28 +196,27 @@ class WatchedBackend(PropagationBackend):
                         return event
                 for rec in cube_occ[lit]:
                     b = rec.blocker
-                    if b and raw[b if b > 0 else -b] == (-1 if b > 0 else 1):
+                    if b and lit_val[base + b] == -1:
                         continue  # cached false literal: the cube is dead
                     w1 = rec.w1
                     w2 = rec.w2
                     if w2:
-                        v1 = raw[w1 if w1 > 0 else -w1]
-                        v2 = raw[w2 if w2 > 0 else -w2]
+                        v1 = lit_val[base + w1]
+                        v2 = lit_val[base + w2]
                         if v1 == 0:
                             if v2 == 0:
                                 continue  # two unassigned universals
-                            if (v2 > 0) != (w2 > 0):
+                            if v2 == -1:
                                 rec.blocker = w2
                                 continue  # watch is false: dead cube
-                        elif (v1 > 0) != (w1 > 0):
+                        elif v1 == -1:
                             rec.blocker = w1
                             continue
-                        elif v2 != 0 and (v2 > 0) != (w2 > 0):
+                        elif v2 == -1:
                             rec.blocker = w2
                             continue
                     elif w1:
-                        v1 = raw[w1 if w1 > 0 else -w1]
-                        if v1 != 0 and (v1 > 0) != (w1 > 0):
+                        if lit_val[base + w1] == -1:
                             rec.blocker = w1
                             continue
                     event = examine(rec, True)
@@ -249,20 +241,21 @@ class WatchedBackend(PropagationBackend):
         always still fails, skipping the matrix walk entirely), and each
         clause's blocker short-circuits the full scan when it does happen.
         """
-        raw = self.trail.value
+        lit_val = self.trail.lit_val
+        base = self.trail.base
         wit = self._model_witness
         if wit is not None:
             for lit in wit.lits:
-                if raw[lit if lit > 0 else -lit] == (1 if lit > 0 else -1):
+                if lit_val[base + lit] == 1:
                     break
             else:
                 return False
         for rec in self.orig_clauses:
             b = rec.blocker
-            if b and raw[b if b > 0 else -b] == (1 if b > 0 else -1):
+            if b and lit_val[base + b] == 1:
                 continue
             for lit in rec.lits:
-                if raw[lit if lit > 0 else -lit] == (1 if lit > 0 else -1):
+                if lit_val[base + lit] == 1:
                     rec.blocker = lit
                     break
             else:
@@ -272,40 +265,46 @@ class WatchedBackend(PropagationBackend):
 
     def _install_learned_clause(self, rec: Rec) -> None:
         track = self._track_pure
-        prefix = self.prefix
-        value = self._lit_value
-        prim = []
+        lit_val = self.trail.lit_val
+        base = self.trail.base
         sat = False
         for lit in rec.lits:
             self.clause_occ[lit].append(rec)
-            val = value(lit)
-            if val is True:
+            if lit_val[base + lit] == 1:
                 sat = True
                 rec.blocker = lit
                 if track:
                     rec.n_true += 1
-            elif val is None and len(prim) < 2 and prefix.is_existential(lit):
-                prim.append(lit)
-        rec.w1 = prim[0] if prim else 0
-        rec.w2 = prim[1] if len(prim) > 1 else 0
+        # Watches: the first two unassigned existentials, in literal order
+        # (rec.prim preserves it, so this matches the historical inline scan).
+        w = []
+        for lit in rec.prim:
+            if lit_val[base + lit] == 0:
+                w.append(lit)
+                if len(w) == 2:
+                    break
+        rec.w1 = w[0] if w else 0
+        rec.w2 = w[1] if len(w) > 1 else 0
         if track and not sat:
             for lit in rec.lits:
                 self.occ_unsat[lit] += 1
 
     def _install_learned_cube(self, rec: Rec) -> None:
         track = self._track_pure
-        prefix = self.prefix
-        value = self._lit_value
-        prim = []
+        lit_val = self.trail.lit_val
+        base = self.trail.base
         for lit in rec.lits:
             self.cube_occ[lit].append(rec)
             self.cube_count[lit] += 1
-            val = value(lit)
-            if val is False:
+            if lit_val[base + lit] == -1:
                 rec.blocker = lit
                 if track:
                     rec.n_false += 1
-            elif val is None and len(prim) < 2 and prefix.is_universal(lit):
-                prim.append(lit)
-        rec.w1 = prim[0] if prim else 0
-        rec.w2 = prim[1] if len(prim) > 1 else 0
+        w = []
+        for lit in rec.prim:
+            if lit_val[base + lit] == 0:
+                w.append(lit)
+                if len(w) == 2:
+                    break
+        rec.w1 = w[0] if w else 0
+        rec.w2 = w[1] if len(w) > 1 else 0

@@ -18,16 +18,78 @@ Both are implemented by :class:`ScoreKeeper` + a pick policy; the engine asks
 for the best literal among *available* variables (those whose ``≺``
 predecessors are all assigned), so every policy is sound for every prefix —
 the policies differ only in ranking.
+
+Storage layout: the counters live in two flat lists indexed by variable
+(``score_pos[v]`` for literal ``v``, ``score_neg[v]`` for ``-v``), and the
+per-block subtree maxima in two lists indexed by block DFS index. The
+arithmetic is unchanged from the dict-backed original — bump adds the same
+1.0, decay multiplies every counter by the same factor, ``_recompute`` folds
+the same ``max(score + kid)`` per block — so decisions are bit-identical;
+only the indexing cost changed. ``keeper.score`` remains available as a
+dict-like signed-literal view (:class:`_ScoreView`) for checkpoints and
+tests; hot paths read the arrays directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.prefix import Block, Prefix
+from repro.core.prefix import Prefix
 
 #: pick policy names accepted by the solver configuration.
 POLICIES = ("levelsub", "subtree", "counter", "naive")
+
+
+class _ScoreView:
+    """Dict-like signed-literal facade over the flat score arrays.
+
+    Supports exactly what the cold paths need: indexing by signed literal,
+    iteration over the signed literals of the prefix (insertion order of the
+    historical dict: ``v, -v`` per variable, ascending), ``dict(view)`` for
+    checkpoint capture and ``view.update(mapping)`` for restore.
+    """
+
+    __slots__ = ("_keeper",)
+
+    def __init__(self, keeper: "ScoreKeeper"):
+        self._keeper = keeper
+
+    def __getitem__(self, lit: int) -> float:
+        k = self._keeper
+        return k.score_pos[lit] if lit > 0 else k.score_neg[-lit]
+
+    def __setitem__(self, lit: int, value: float) -> None:
+        k = self._keeper
+        if lit > 0:
+            k.score_pos[lit] = value
+        else:
+            k.score_neg[-lit] = value
+
+    def __iter__(self) -> Iterator[int]:
+        for v in self._keeper.prefix.variables:
+            yield v
+            yield -v
+
+    def __len__(self) -> int:
+        return 2 * len(self._keeper.prefix.variables)
+
+    def __contains__(self, lit: int) -> bool:
+        v = lit if lit > 0 else -lit
+        return v in self._keeper.prefix.variables
+
+    def keys(self) -> List[int]:
+        return list(self)
+
+    def items(self) -> List[Tuple[int, float]]:
+        return [(lit, self[lit]) for lit in self]
+
+    def values(self) -> List[float]:
+        return [self[lit] for lit in self]
+
+    def update(self, other) -> None:
+        items = other.items() if hasattr(other, "items") else other
+        for lit, value in items:
+            self[lit] = value
 
 
 class ScoreKeeper:
@@ -39,24 +101,35 @@ class ScoreKeeper:
 
     def __init__(self, prefix: Prefix, decay_interval: int = 64):
         self.prefix = prefix
-        self.score: Dict[int, float] = {}
-        for v in prefix.variables:
-            self.score[v] = 0.0
-            self.score[-v] = 0.0
+        tab = prefix.tables()
+        self.score_pos: List[float] = [0.0] * tab.num_slots
+        self.score_neg: List[float] = [0.0] * tab.num_slots
+        self._is_exist = tab.is_exist
+        self._level = tab.level
+        self._block_index = tab.block_index
+        n_blocks = len(tab.block_vars)
+        self._subtree_max: List[float] = [0.0] * n_blocks
+        self._child_max: List[float] = [0.0] * n_blocks
         self.decay_interval = decay_interval
         self._since_decay = 0
-        self._subtree_max: Dict[int, float] = {}
-        self._child_max: Dict[int, float] = {}
         self._dirty = True
+        self.score = _ScoreView(self)
 
     def _bump(self, lit: int) -> None:
         # Section VI: an existential literal counts the constraints it
         # occurs in; a universal literal counts the constraints its
         # *complement* occurs in (the universal player branches to falsify).
-        if self.prefix.is_existential(lit):
-            self.score[lit] += 1.0
+        if lit > 0:
+            if self._is_exist[lit]:
+                self.score_pos[lit] += 1.0
+            else:
+                self.score_neg[lit] += 1.0
         else:
-            self.score[-lit] += 1.0
+            v = -lit
+            if self._is_exist[v]:
+                self.score_neg[v] += 1.0
+            else:
+                self.score_pos[v] += 1.0
 
     def bump_initial(self, clauses: Iterable[Sequence[int]]) -> None:
         """Initialize counters from matrix occurrences."""
@@ -72,8 +145,14 @@ class ScoreKeeper:
         self._since_decay += 1
         if self._since_decay >= self.decay_interval:
             self._since_decay = 0
-            for lit in self.score:
-                self.score[lit] *= self.DECAY
+            decay = self.DECAY
+            # In-place (the arrays are captured by picker closures and must
+            # never be rebound). Unused slots stay 0.0, same as before.
+            score_pos = self.score_pos
+            score_neg = self.score_neg
+            for i in range(len(score_pos)):
+                score_pos[i] *= decay
+                score_neg[i] *= decay
         self._dirty = True
 
     # -- PO subtree scores ---------------------------------------------------
@@ -87,31 +166,103 @@ class ScoreKeeper:
         precisely the Section VI definition, evaluated per block since all
         variables of a block share the same children.
         """
-        order: List[Block] = list(self.prefix.blocks)
-        for block in reversed(order):
+        subtree_max = self._subtree_max
+        child_max = self._child_max
+        score_pos = self.score_pos
+        score_neg = self.score_neg
+        for block in reversed(self.prefix.blocks):
             kid = 0.0
+            level = block.level
             for child in block.children:
-                if child.level > block.level:
+                if child.level > level:
                     # One alternation deeper: the child's own literals are
                     # the "prefix level k+1" literals of the definition.
-                    kid = max(kid, self._subtree_max[child.index])
+                    kid = max(kid, subtree_max[child.index])
                 else:
                     # Same-level child (branch point without alternation):
                     # only its strictly deeper descendants count.
-                    kid = max(kid, self._child_max[child.index])
-            self._child_max[block.index] = kid
+                    kid = max(kid, child_max[child.index])
+            child_max[block.index] = kid
             best = 0.0
             for v in block.variables:
-                best = max(best, self.score[v] + kid, self.score[-v] + kid)
-            self._subtree_max[block.index] = best
+                best = max(best, score_pos[v] + kid, score_neg[v] + kid)
+            subtree_max[block.index] = best
         self._dirty = False
 
     def effective(self, lit: int) -> float:
         """The PO score of ``lit``: counter plus deeper-subtree maximum."""
         if self._dirty:
             self._recompute()
-        block = self.prefix.block_of(abs(lit))
-        return self.score[lit] + self._child_max[block.index]
+        v = lit if lit > 0 else -lit
+        s = self.score_pos[v] if lit > 0 else self.score_neg[v]
+        return s + self._child_max[self._block_index[v]]
+
+
+def make_picker(
+    policy: str,
+    keeper: ScoreKeeper,
+) -> Callable[[Sequence[int]], Optional[int]]:
+    """Build the branching function for ``policy`` once, at solver init.
+
+    Historically :func:`pick_literal` rebuilt its key lambda on every
+    decision; the engine now hoists that construction here and calls the
+    returned closure per decision. The ranking is unchanged:
+
+    ``levelsub`` — rank by (prefix level, subtree score): Section VI's
+    requirement that the queue account for "both their position in the
+    prefix and their score", taking the position key literally. The
+    reproduction's default: it keeps branching freedom across incomparable
+    same-level blocks while never diving below an unfinished shallower
+    block, which our backjumping engine rewards (see the heuristic ablation
+    bench); ``subtree`` — the pure Section VI score formula (counter plus
+    deeper-subtree maximum), whose ≺-monotonicity is the only ordering
+    constraint; ``counter`` — raw counters, ignoring the tree (ablation);
+    ``naive`` — smallest variable id, positive phase (ablation).
+
+    Every key ends in ``-v``, a strict tiebreak, so the result never depends
+    on the order of ``available``. The returned function maps an available
+    list to a literal, or None when the list is empty.
+    """
+    if policy == "naive":
+        def pick_naive(available: Sequence[int]) -> Optional[int]:
+            if not available:
+                return None
+            return min(available)
+
+        return pick_naive
+
+    score_pos = keeper.score_pos
+    score_neg = keeper.score_neg
+    if policy == "counter":
+        def key(v: int) -> Tuple:
+            a = score_pos[v]
+            b = score_neg[v]
+            return (a if a >= b else b, -v)
+    elif policy == "subtree":
+        effective = keeper.effective
+
+        def key(v: int) -> Tuple:
+            a = effective(v)
+            b = effective(-v)
+            return (a if a >= b else b, -v)
+    elif policy == "levelsub":
+        level = keeper._level
+        effective = keeper.effective
+
+        def key(v: int) -> Tuple:
+            a = effective(v)
+            b = effective(-v)
+            return (-level[v], a if a >= b else b, -v)
+    else:
+        raise ValueError("unknown branching policy %r" % policy)
+
+    def pick(available: Sequence[int]) -> Optional[int]:
+        if not available:
+            return None
+        var = max(available, key=key)
+        return var if score_pos[var] >= score_neg[var] else -var
+
+    return pick
 
 
 def pick_literal(
@@ -119,47 +270,11 @@ def pick_literal(
     keeper: ScoreKeeper,
     available: Sequence[int],
 ) -> Optional[int]:
-    """Choose a branching literal among available (top) variables.
+    """One-shot convenience wrapper over :func:`make_picker`.
 
-    Args:
-        policy: one of :data:`POLICIES`.
-            ``levelsub`` — rank by (prefix level, subtree score): Section
-            VI's requirement that the queue account for "both their position
-            in the prefix and their score", taking the position key
-            literally. The reproduction's default: it keeps branching
-            freedom across incomparable same-level blocks while never diving
-            below an unfinished shallower block, which our backjumping
-            engine rewards (see the heuristic ablation bench);
-            ``subtree`` — the pure Section VI score formula (counter plus
-            deeper-subtree maximum), whose ≺-monotonicity is the only
-            ordering constraint;
-            ``counter`` — raw counters, ignoring the tree (ablation);
-            ``naive`` — smallest variable id, positive phase (ablation).
-        keeper: the activity store.
-        available: unassigned variables whose predecessors are assigned.
-
-    Returns:
-        a literal, or None when ``available`` is empty.
+    Kept for tests and exploratory code; the engine builds its picker once
+    at init instead. Returns a literal, or None when ``available`` is empty.
     """
     if not available:
         return None
-    if policy == "naive":
-        return min(available)
-    if policy == "counter":
-        key: Callable[[int], Tuple] = lambda v: (
-            max(keeper.score[v], keeper.score[-v]),
-            -v,
-        )
-    elif policy == "subtree":
-        key = lambda v: (max(keeper.effective(v), keeper.effective(-v)), -v)
-    elif policy == "levelsub":
-        prefix = keeper.prefix
-        key = lambda v: (
-            -prefix.level(v),
-            max(keeper.effective(v), keeper.effective(-v)),
-            -v,
-        )
-    else:
-        raise ValueError("unknown branching policy %r" % policy)
-    var = max(available, key=key)
-    return var if keeper.score[var] >= keeper.score[-var] else -var
+    return make_picker(policy, keeper)(available)

@@ -89,14 +89,35 @@ class TrailView:
         pos_of: variable -> trail position (meaningful only if assigned).
         reason_of: variable -> Constraint | None ("None" covers decisions and
             pure literals — anything that cannot be resolved away).
+
+    The engine additionally supplies the flat kernels backing those
+    callables — the trail's literal-indexed value array (``lit_val`` +
+    ``base``) and its level/position arrays — which the hot analyses index
+    directly. They are optional: views built over plain callables (unit
+    tests, tools) leave them None and the analyses fall back to calling.
     """
 
-    def __init__(self, value, level_of, pos_of, reason_of, prefix):
+    def __init__(
+        self,
+        value,
+        level_of,
+        pos_of,
+        reason_of,
+        prefix,
+        lit_val=None,
+        base=0,
+        level_arr=None,
+        pos_arr=None,
+    ):
         self.value = value
         self.level_of = level_of
         self.pos_of = pos_of
         self.reason_of = reason_of
         self.prefix = prefix
+        self.lit_val = lit_val
+        self.base = base
+        self.level_arr = level_arr
+        self.pos_arr = pos_arr
 
 
 def _clause_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisOutcome]:
@@ -105,38 +126,78 @@ def _clause_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisO
     Returns Terminal when the clause proves FALSE outright, a Backjump when
     some earlier level makes it unit, or None when further resolution is
     needed.
+
+    Quantifier tests and the ``≺`` comparisons run on the prefix's flat
+    lookup tables; level/position/value reads go through the view's arrays
+    when the engine supplied them, else through its callables.
     """
-    prefix = view.prefix
-    existentials = [l for l in work if prefix.is_existential(l)]
-    universals = [l for l in work if prefix.is_universal(l)]
+    tab = view.prefix.tables()
+    is_exist = tab.is_exist
+    existentials = []
+    universals = []
+    for l in work:
+        if is_exist[l if l > 0 else -l]:
+            existentials.append(l)
+        else:
+            universals.append(l)
     if not existentials:
         return Terminal()
-    # All existential literals of a working clause are false on the trail.
-    estar = max(existentials, key=lambda l: (view.level_of(var_of(l)), view.pos_of(var_of(l))))
-    estar_level = view.level_of(var_of(estar))
+    level_arr = view.level_arr
+    if level_arr is not None:
+        level_of = level_arr.__getitem__
+        pos_of = view.pos_arr.__getitem__
+    else:
+        level_of = view.level_of
+        pos_of = view.pos_of
+    value = view.value
+    # All existential literals of a working clause are false on the trail,
+    # so their (level, pos) keys are distinct and the plain > scan matches
+    # max()'s first-of-ties semantics.
+    estar = existentials[0]
+    ev = estar if estar > 0 else -estar
+    estar_level = level_of(ev)
+    estar_pos = pos_of(ev)
+    for l in existentials:
+        v = l if l > 0 else -l
+        lv = level_of(v)
+        if lv > estar_level or (lv == estar_level and pos_of(v) > estar_pos):
+            estar = l
+            estar_level = lv
+            estar_pos = pos_of(v)
     if estar_level == 0:
         blocked = any(
-            view.value(u) is True and view.level_of(var_of(u)) == 0 for u in universals
+            value(u) is True and level_of(u if u > 0 else -u) == 0 for u in universals
         )
         return None if blocked else Terminal()
     b_lo = 0
     b_hi = estar_level - 1
     for e in existentials:
         if e is not estar:
-            b_lo = max(b_lo, view.level_of(var_of(e)))
+            lv = level_of(e if e > 0 else -e)
+            if lv > b_lo:
+                b_lo = lv
+    level = tab.level
+    din = tab.din
+    dout = tab.dout
+    ev = estar if estar > 0 else -estar
+    e_level = level[ev]
+    e_din = din[ev]
     for u in universals:
-        val = view.value(u)
-        blocking = prefix.prec(u, estar)
+        uv = u if u > 0 else -u
+        val = value(u)
+        blocking = level[uv] < e_level and din[uv] <= e_din <= dout[uv]
         if val is None:
             if blocking:
                 return None
         elif val is False:
             if blocking:
-                b_lo = max(b_lo, view.level_of(var_of(u)))
+                lv = level_of(uv)
+                if lv > b_lo:
+                    b_lo = lv
         else:  # val is True: must be unassigned at the target level
             if blocking:
                 return None
-            b_hi = min(b_hi, view.level_of(var_of(u)) - 1)
+            b_hi = min(b_hi, level_of(uv) - 1)
     if b_lo <= b_hi:
         return Backjump(tuple(work), b_lo, estar, b_hi)
     return None
@@ -144,37 +205,71 @@ def _clause_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisO
 
 def _cube_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisOutcome]:
     """Dual of :func:`_clause_backjump` for a (reduced) working cube."""
-    prefix = view.prefix
-    universals = [l for l in work if prefix.is_universal(l)]
-    existentials = [l for l in work if prefix.is_existential(l)]
+    tab = view.prefix.tables()
+    is_exist = tab.is_exist
+    universals = []
+    existentials = []
+    for l in work:
+        if is_exist[l if l > 0 else -l]:
+            existentials.append(l)
+        else:
+            universals.append(l)
     if not universals:
         return Terminal()
+    level_arr = view.level_arr
+    if level_arr is not None:
+        level_of = level_arr.__getitem__
+        pos_of = view.pos_arr.__getitem__
+    else:
+        level_of = view.level_of
+        pos_of = view.pos_of
+    value = view.value
     # All universal literals of a working cube are true on the trail.
-    ustar = max(universals, key=lambda l: (view.level_of(var_of(l)), view.pos_of(var_of(l))))
-    ustar_level = view.level_of(var_of(ustar))
+    ustar = universals[0]
+    uv = ustar if ustar > 0 else -ustar
+    ustar_level = level_of(uv)
+    ustar_pos = pos_of(uv)
+    for l in universals:
+        v = l if l > 0 else -l
+        lv = level_of(v)
+        if lv > ustar_level or (lv == ustar_level and pos_of(v) > ustar_pos):
+            ustar = l
+            ustar_level = lv
+            ustar_pos = pos_of(v)
     if ustar_level == 0:
         blocked = any(
-            view.value(e) is False and view.level_of(var_of(e)) == 0 for e in existentials
+            value(e) is False and level_of(e if e > 0 else -e) == 0 for e in existentials
         )
         return None if blocked else Terminal()
     b_lo = 0
     b_hi = ustar_level - 1
     for u in universals:
         if u is not ustar:
-            b_lo = max(b_lo, view.level_of(var_of(u)))
+            lv = level_of(u if u > 0 else -u)
+            if lv > b_lo:
+                b_lo = lv
+    level = tab.level
+    din = tab.din
+    dout = tab.dout
+    uv = ustar if ustar > 0 else -ustar
+    u_level = level[uv]
+    u_din = din[uv]
     for e in existentials:
-        val = view.value(e)
-        blocking = prefix.prec(e, ustar)
+        sv = e if e > 0 else -e
+        val = value(e)
+        blocking = level[sv] < u_level and din[sv] <= u_din <= dout[sv]
         if val is None:
             if blocking:
                 return None
         elif val is True:
             if blocking:
-                b_lo = max(b_lo, view.level_of(var_of(e)))
+                lv = level_of(sv)
+                if lv > b_lo:
+                    b_lo = lv
         else:  # val is False: the cube would be dead unless e is unassigned
             if blocking:
                 return None
-            b_hi = min(b_hi, view.level_of(var_of(e)) - 1)
+            b_hi = min(b_hi, level_of(sv) - 1)
     if b_lo <= b_hi:
         return Backjump(tuple(work), b_lo, ustar, b_hi)
     return None
@@ -189,7 +284,12 @@ def analyze_conflict(
     mirroring every resolution/reduction step into a certificate. Tracing is
     passive — it never changes which constraint is derived.
     """
-    work: Tuple[int, ...] = universal_reduce(tuple(conflict), view.prefix)
+    prefix = view.prefix
+    is_exist = prefix.tables().is_exist
+    value = view.value
+    reason_of = view.reason_of
+    pos_of = view.pos_arr.__getitem__ if view.pos_arr is not None else view.pos_of
+    work: Tuple[int, ...] = universal_reduce(tuple(conflict), prefix)
     if trace is not None:
         trace.reduced(work)
     banned: Set[int] = set()
@@ -199,25 +299,33 @@ def analyze_conflict(
             if trace is not None and isinstance(outcome, Terminal):
                 _finish_clause_refutation(work, view, trace)
             return outcome
-        candidates = [
-            l
-            for l in work
-            if view.prefix.is_existential(l)
-            and l not in banned
-            and view.value(l) is False
-            and isinstance(view.reason_of(var_of(l)), Clause)
-        ]
-        if not candidates:
+        # The deepest (max trail position) resolvable existential; positions
+        # are unique, so the scan matches max() over the filtered list.
+        pivot = 0
+        pivot_pos = -1
+        for l in work:
+            v = l if l > 0 else -l
+            if (
+                is_exist[v]
+                and l not in banned
+                and value(l) is False
+                and isinstance(reason_of(v), Clause)
+            ):
+                p = pos_of(v)
+                if p > pivot_pos:
+                    pivot = l
+                    pivot_pos = p
+        if pivot_pos < 0:
             return Fallback()
-        pivot = max(candidates, key=lambda l: view.pos_of(var_of(l)))
-        reason = view.reason_of(var_of(pivot))
-        resolvent = resolve(work, reason.lits, var_of(pivot))
+        pivot_var = pivot if pivot > 0 else -pivot
+        reason = reason_of(pivot_var)
+        resolvent = resolve(work, reason.lits, pivot_var)
         if resolvent is None:
             banned.add(pivot)
             continue
-        work = universal_reduce(resolvent, view.prefix)
+        work = universal_reduce(resolvent, prefix)
         if trace is not None:
-            trace.resolved(reason.lits, var_of(pivot), work)
+            trace.resolved(reason.lits, pivot_var, work)
 
 
 def analyze_solution(
@@ -228,7 +336,12 @@ def analyze_solution(
     ``trace`` mirrors the derivation into a certificate, as in
     :func:`analyze_conflict`.
     """
-    work: Tuple[int, ...] = existential_reduce(tuple(model_cube), view.prefix)
+    prefix = view.prefix
+    is_exist = prefix.tables().is_exist
+    value = view.value
+    reason_of = view.reason_of
+    pos_of = view.pos_arr.__getitem__ if view.pos_arr is not None else view.pos_of
+    work: Tuple[int, ...] = existential_reduce(tuple(model_cube), prefix)
     if trace is not None:
         trace.reduced(work)
     banned: Set[int] = set()
@@ -238,25 +351,32 @@ def analyze_solution(
             if trace is not None and isinstance(outcome, Terminal):
                 _finish_cube_confirmation(work, view, trace)
             return outcome
-        candidates = [
-            l
-            for l in work
-            if view.prefix.is_universal(l)
-            and l not in banned
-            and view.value(l) is True
-            and isinstance(view.reason_of(var_of(l)), Cube)
-        ]
-        if not candidates:
+        # The deepest resolvable universal, as in analyze_conflict.
+        pivot = 0
+        pivot_pos = -1
+        for l in work:
+            v = l if l > 0 else -l
+            if (
+                not is_exist[v]
+                and l not in banned
+                and value(l) is True
+                and isinstance(reason_of(v), Cube)
+            ):
+                p = pos_of(v)
+                if p > pivot_pos:
+                    pivot = l
+                    pivot_pos = p
+        if pivot_pos < 0:
             return Fallback()
-        pivot = max(candidates, key=lambda l: view.pos_of(var_of(l)))
-        reason = view.reason_of(var_of(pivot))
-        resolvent = resolve(work, reason.lits, var_of(pivot))
+        pivot_var = pivot if pivot > 0 else -pivot
+        reason = reason_of(pivot_var)
+        resolvent = resolve(work, reason.lits, pivot_var)
         if resolvent is None:
             banned.add(pivot)
             continue
-        work = existential_reduce(resolvent, view.prefix)
+        work = existential_reduce(resolvent, prefix)
         if trace is not None:
-            trace.resolved(reason.lits, var_of(pivot), work)
+            trace.resolved(reason.lits, pivot_var, work)
 
 
 def _finish_clause_refutation(work: Tuple[int, ...], view: TrailView, trace) -> None:
@@ -325,13 +445,42 @@ def build_model_cube(
     assigned), producing a set ``S`` with ``C ∩ S ≠ ∅`` for every clause
     ``C``. The caller passes the result to :func:`analyze_solution`, which
     existentially reduces it.
+
+    This runs once per solution over the whole matrix, making it one of the
+    hottest call sites on true-heavy instances; when the view carries the
+    trail's flat arrays, each literal costs one ``lit_val`` probe and the
+    per-clause min folds positions inline (positions are unique, so the
+    fold matches ``min()``'s first-of-ties semantics).
     """
     chosen: Set[int] = set()
-    for clause in clauses:
-        sats = [l for l in clause.lits if view.value(l) is True]
-        if not sats:
-            raise ValueError("matrix clause not satisfied: %r" % (clause,))
-        if any(l in chosen for l in sats):
-            continue
-        chosen.add(min(sats, key=lambda l: view.pos_of(var_of(l))))
+    lit_val = view.lit_val
+    if lit_val is not None:
+        base = view.base
+        pos = view.pos_arr
+        for clause in clauses:
+            best = 0
+            best_pos = -1
+            already = False
+            for l in clause.lits:
+                if lit_val[base + l] == 1:
+                    if l in chosen:
+                        already = True
+                        break
+                    p = pos[l if l > 0 else -l]
+                    if best_pos < 0 or p < best_pos:
+                        best = l
+                        best_pos = p
+            if already:
+                continue
+            if best_pos < 0:
+                raise ValueError("matrix clause not satisfied: %r" % (clause,))
+            chosen.add(best)
+    else:
+        for clause in clauses:
+            sats = [l for l in clause.lits if view.value(l) is True]
+            if not sats:
+                raise ValueError("matrix clause not satisfied: %r" % (clause,))
+            if any(l in chosen for l in sats):
+                continue
+            chosen.add(min(sats, key=lambda l: view.pos_of(var_of(l))))
     return tuple(sorted(chosen, key=lambda l: (var_of(l), l)))

@@ -119,6 +119,78 @@ class Block:
         return "%s%s" % (q, list(self.variables))
 
 
+class PrefixTables:
+    """Flat, positionally indexed lookup tables over one :class:`Prefix`.
+
+    The solver's hot loops (propagation, reduction, branching) pay for every
+    ``block_of`` dict probe and ``Block`` attribute hop millions of times per
+    run, so the per-variable quantities they need are precomputed here once
+    as plain lists indexed by variable (slots for unbound variables stay at
+    their zero defaults and must never be consulted):
+
+    * ``level[v]``/``is_exist[v]``/``din[v]``/``dout[v]`` — the variable's
+      block's alternation level, quantifier, and DFS interval. The order
+      test ``a ≺ b`` becomes three comparisons on these arrays:
+      ``level[a] < level[b] and din[a] <= din[b] <= dout[a]``.
+    * ``block_index[v]`` — index of the binding block in DFS order.
+
+    Per-block tables support the incremental branching frontier
+    (:meth:`repro.core.engine.trail.Trail.available_vars`):
+
+    * ``block_vars[bi]`` — the block's variable tuple, DFS block order.
+    * ``init_blockers[bi]`` — how many proper ancestors sit at a strictly
+      lower alternation level (every one of them holds unassigned variables
+      in the empty assignment, so this is the initial blocker count).
+    * ``deeper_descendants[bi]`` — indices of descendant blocks at a
+      strictly greater level: exactly the blocks whose frontier membership
+      this block gates.
+    """
+
+    __slots__ = (
+        "num_slots",
+        "level",
+        "is_exist",
+        "din",
+        "dout",
+        "block_index",
+        "block_vars",
+        "init_blockers",
+        "deeper_descendants",
+    )
+
+    def __init__(self, prefix: "Prefix"):
+        nv = max(prefix.variables, default=0)
+        self.num_slots = nv + 1
+        self.level: List[int] = [0] * self.num_slots
+        self.is_exist: List[bool] = [False] * self.num_slots
+        self.din: List[int] = [0] * self.num_slots
+        self.dout: List[int] = [0] * self.num_slots
+        self.block_index: List[int] = [0] * self.num_slots
+        blocks = prefix.blocks
+        self.block_vars: Tuple[Tuple[int, ...], ...] = tuple(b.variables for b in blocks)
+        for block in blocks:
+            is_exist = block.quant is EXISTS
+            for v in block.variables:
+                self.level[v] = block.level
+                self.is_exist[v] = is_exist
+                self.din[v] = block.din
+                self.dout[v] = block.dout
+                self.block_index[v] = block.index
+        deeper: List[List[int]] = [[] for _ in blocks]
+        init_blockers = []
+        for block in blocks:
+            n = 0
+            for anc in block.ancestors():
+                if anc.level < block.level:
+                    n += 1
+                    deeper[anc.index].append(block.index)
+            init_blockers.append(n)
+        self.init_blockers: Tuple[int, ...] = tuple(init_blockers)
+        self.deeper_descendants: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(d) for d in deeper
+        )
+
+
 class Prefix:
     """An immutable partially ordered quantifier prefix.
 
@@ -145,6 +217,7 @@ class Prefix:
                     raise ValueError("variables must be positive, got %d" % v)
                 self._block_of[v] = block
         self._variables = tuple(sorted(self._block_of))
+        self._tables: Optional[PrefixTables] = None
 
     # -- construction ------------------------------------------------------
 
@@ -217,6 +290,17 @@ class Prefix:
     def blocks(self) -> Tuple[Block, ...]:
         """All real blocks in DFS order."""
         return tuple(self._blocks)
+
+    def tables(self) -> PrefixTables:
+        """The flat lookup tables for this prefix, built once on first use.
+
+        The prefix is immutable, so the cache can never go stale; hot loops
+        grab the arrays they need from here at setup time and index them
+        directly thereafter.
+        """
+        if self._tables is None:
+            self._tables = PrefixTables(self)
+        return self._tables
 
     @property
     def variables(self) -> Tuple[int, ...]:

@@ -1,0 +1,218 @@
+"""The incremental branching frontier, paranoid trail guard, and hoisted
+pickers: equivalence tests for the flat-array kernels.
+
+The frontier contract: ``Trail.available_vars()`` (per-block counters
+maintained under push/unassign) must return exactly what the recursive
+quantifier-tree walk ``SearchEngine._available_vars()`` returns — same
+variables, same (DFS) order — in *every* reachable search state, for both
+propagation backends, on prenex (TO) and tree (PO) prefixes alike.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import SearchEngine
+from repro.core.engine.config import SolverConfig
+from repro.core.engine.trail import Trail
+from repro.core.heuristics import ScoreKeeper, make_picker, pick_literal
+from repro.core.literals import EXISTS
+from repro.core.prefix import Prefix
+from repro.generators.random_qbf import random_qbf
+from repro.prenexing.strategies import prenex
+
+
+def _reference_available(prefix, value):
+    """The pre-kernel recursive tree walk, reimplemented independently."""
+    out = []
+
+    def visit(block, pending_lt, pending_eq):
+        pending_here = False
+        for v in block.variables:
+            if value[v] == 0:
+                pending_here = True
+                if not pending_lt:
+                    out.append(v)
+        for child in block.children:
+            if child.level == block.level:
+                visit(child, pending_lt, pending_eq or pending_here)
+            else:
+                visit(child, pending_lt or pending_eq or pending_here, False)
+
+    visit(prefix.root, False, False)
+    return out
+
+
+# -- direct push/unassign driver on a bare Trail ------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_frontier_matches_tree_walk_under_random_stack_ops(seed):
+    rng = random.Random(seed)
+    phi = random_qbf(
+        rng,
+        prenex=False,
+        depth=rng.randint(1, 3),
+        branching=rng.randint(1, 2),
+        block_size=rng.randint(1, 3),
+        clauses_per_scope=1,
+        clause_len=2,
+    )
+    prefix = phi.prefix
+    nv = max(prefix.variables, default=0)
+    trail = Trail(nv, prefix=prefix)
+    assigned = []  # stack of literals, mirroring real trail discipline
+    for _ in range(rng.randint(5, 60)):
+        unassigned = [v for v in prefix.variables if trail.value[v] == 0]
+        if assigned and (not unassigned or rng.random() < 0.4):
+            # pop a random-length suffix, exactly like a backtrack
+            keep = rng.randrange(len(assigned))
+            for lit in reversed(assigned[keep:]):
+                trail.unassign(lit)
+            del assigned[keep:]
+        elif unassigned:
+            v = rng.choice(unassigned)
+            lit = v if rng.random() < 0.5 else -v
+            trail.push(lit, None)
+            assigned.append(lit)
+        assert trail.available_vars() == _reference_available(prefix, trail.value)
+
+
+# -- in-search equivalence: every decision point of a real solve --------------
+
+
+def _solve_checking_frontier(phi, engine):
+    config = SolverConfig(max_decisions=300, engine=engine)
+    solver = SearchEngine(phi, config)
+    checks = 0
+    inner = solver._decide
+
+    def checked():
+        assert solver.trail.available_vars() == solver._available_vars()
+        return inner()
+
+    solver._decide = checked
+    solver.solve()
+    # final state (post-backtracks) must agree too
+    assert solver.trail.available_vars() == solver._available_vars()
+    return checks
+
+
+@pytest.mark.parametrize("engine", ["counters", "watched"])
+@pytest.mark.parametrize("pipeline", ["po", "to"])
+@pytest.mark.parametrize("seed", range(12))
+def test_frontier_matches_walk_at_every_decision(seed, pipeline, engine):
+    rng = random.Random(seed)
+    phi = random_qbf(
+        rng,
+        prenex=False,
+        depth=2,
+        branching=2,
+        block_size=rng.randint(1, 2),
+        clauses_per_scope=2,
+        clause_len=3,
+    )
+    if pipeline == "to":
+        phi = prenex(phi)
+    _solve_checking_frontier(phi, engine)
+
+
+# -- the paranoid double-assignment guard -------------------------------------
+
+
+def test_paranoid_push_still_raises_on_double_assignment():
+    prefix = Prefix.linear([(EXISTS, (1, 2))])
+    trail = Trail(2, prefix=prefix, paranoid=True)
+    trail.push(1, None)
+    with pytest.raises(AssertionError):
+        trail.push(1, None)
+    with pytest.raises(AssertionError):
+        trail.push(-1, None)
+
+
+def test_release_push_skips_the_guard():
+    prefix = Prefix.linear([(EXISTS, (1, 2))])
+    trail = Trail(2, prefix=prefix, paranoid=False)
+    trail.push(1, None)
+    assert trail.lit_value(1) is True
+    assert trail.push == trail._push_fast
+
+
+def test_paranoid_config_flag_reaches_the_trail(monkeypatch):
+    phi = random_qbf(random.Random(0), prenex=False, depth=1, branching=1)
+    engine = SearchEngine(phi, SolverConfig(paranoid=True))
+    assert engine.trail.push == engine.trail._push_checked
+    engine = SearchEngine(phi, SolverConfig())
+    assert engine.trail.push == engine.trail._push_fast
+    monkeypatch.setenv("REPRO_PARANOID", "1")
+    assert SolverConfig().paranoid is True
+    monkeypatch.setenv("REPRO_PARANOID", "0")
+    assert SolverConfig().paranoid is False
+
+
+def test_paranoid_run_is_decision_identical():
+    rng = random.Random(7)
+    phi = random_qbf(rng, prenex=False, depth=2, branching=2,
+                     clauses_per_scope=2, clause_len=3)
+    cfg = SolverConfig(max_decisions=500)
+    plain = SearchEngine(phi, cfg).solve()
+    cfg_p = SolverConfig(max_decisions=500, paranoid=True)
+    guarded = SearchEngine(phi, cfg_p).solve()
+    assert plain.outcome == guarded.outcome
+    assert plain.stats == guarded.stats
+
+
+# -- hoisted pickers: identical literals, all four policies -------------------
+
+
+def _legacy_pick(policy, keeper, available):
+    """The pre-hoist pick_literal, lambdas rebuilt per call (reference)."""
+    if not available:
+        return None
+    if policy == "naive":
+        return min(available)
+    if policy == "counter":
+        key = lambda v: (max(keeper.score[v], keeper.score[-v]), -v)
+    elif policy == "subtree":
+        key = lambda v: (max(keeper.effective(v), keeper.effective(-v)), -v)
+    elif policy == "levelsub":
+        prefix = keeper.prefix
+        key = lambda v: (
+            -prefix.level(v),
+            max(keeper.effective(v), keeper.effective(-v)),
+            -v,
+        )
+    var = max(available, key=key)
+    return var if keeper.score[var] >= keeper.score[-var] else -var
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_all_policies_pick_identical_literals(seed):
+    rng = random.Random(seed)
+    phi = random_qbf(
+        rng,
+        prenex=False,
+        depth=rng.randint(1, 3),
+        branching=rng.randint(1, 2),
+        block_size=rng.randint(1, 3),
+        clauses_per_scope=1,
+        clause_len=2,
+    )
+    prefix = phi.prefix
+    keeper = ScoreKeeper(prefix)
+    # random score state, bumped through the public API
+    for _ in range(rng.randint(0, 30)):
+        keeper.on_learned(
+            [v if rng.random() < 0.5 else -v
+             for v in rng.sample(prefix.variables, rng.randint(1, len(prefix.variables)))]
+        )
+    pool = list(prefix.variables)
+    rng.shuffle(pool)
+    available = pool[: rng.randint(0, len(pool))]
+    for policy in ("levelsub", "subtree", "counter", "naive"):
+        expected = _legacy_pick(policy, keeper, available)
+        assert make_picker(policy, keeper)(available) == expected
+        assert pick_literal(policy, keeper, available) == expected

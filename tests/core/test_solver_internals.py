@@ -204,9 +204,10 @@ class TestPureLiteralBacktracking:
                 trail = self.trail
                 target = trail.level_start[to_level + 1]
                 for lit in reversed(trail.lits[target:]):
-                    v = var_of(lit)
-                    trail.value[v] = 0
-                    trail.reason[v] = None
+                    # unassign via the trail API (which keeps the flat value
+                    # array and branching frontier coherent) but replicate
+                    # the pre-fix bug: no pure-candidate re-seeding.
+                    trail.unassign(lit)
                     for rec in self.clause_occ[lit]:
                         rec.n_true -= 1
                         if rec.n_true == 0:
