@@ -364,6 +364,53 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_run(args: argparse.Namespace) -> int:
+    """Run the persistent solver daemon until SIGTERM/SIGINT."""
+    from repro.serve import run_daemon
+
+    return run_daemon(
+        args.socket,
+        jobs=args.jobs,
+        cache_path=args.cache,
+        wall_timeout=args.wall_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+
+def cmd_serve_request(args: argparse.Namespace) -> int:
+    """Send one JSON request (from a file, or stdin with '-') to a daemon."""
+    import json
+
+    from repro.serve import request
+
+    if args.request == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(args.request) as handle:
+            payload = json.load(handle)
+    response = request(args.socket, payload, timeout=args.timeout)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if not response.get("ok"):
+        return 1
+    outcome = response.get("outcome")
+    if outcome == "true":
+        return EXIT_TRUE
+    if outcome == "false":
+        return EXIT_FALSE
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Incremental-vs-scratch sweeps + daemon throughput; BENCH_serve.json."""
+    from repro.serve.bench import render_report, run_serve_bench, write_report
+
+    report = run_serve_bench(quick=args.quick)
+    write_report(report, args.output)
+    print(render_report(report))
+    print("report written to %s" % args.output)
+    return 0 if report["incremental_strictly_fewer"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -437,6 +484,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="report path (default: %(default)s)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="persistent solver daemon over a local socket"
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+    p_srun = serve_sub.add_parser(
+        "run",
+        help="start the daemon (newline-delimited JSON requests; "
+        "SIGTERM shuts it down cleanly)",
+    )
+    p_srun.add_argument("--socket", required=True, metavar="PATH",
+                        help="unix socket path to listen on")
+    p_srun.add_argument("--jobs", type=int, default=2,
+                        help="concurrent solve slots (default 2)")
+    p_srun.add_argument("--cache", default=None, metavar="PATH",
+                        help="persistent verdict cache (JSONL results log), "
+                        "reloaded on restart")
+    p_srun.add_argument("--wall-timeout", type=float, default=None,
+                        help="hard per-request seconds for worker-shard solves")
+    p_srun.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="directory for preemption checkpoints of "
+                        "worker-shard solves")
+    p_srun.set_defaults(func=cmd_serve_run)
+    p_sreq = serve_sub.add_parser(
+        "request", help="send one JSON request to a running daemon"
+    )
+    p_sreq.add_argument("--socket", required=True, metavar="PATH")
+    p_sreq.add_argument("request", help="path to a JSON request file, or '-'")
+    p_sreq.add_argument("--timeout", type=float, default=300.0)
+    p_sreq.set_defaults(func=cmd_serve_request)
+    p_sbench = serve_sub.add_parser(
+        "bench",
+        help="incremental-vs-scratch SMV sweeps + daemon throughput; "
+        "emits BENCH_serve.json",
+    )
+    p_sbench.add_argument("--quick", action="store_true",
+                          help="bench the small model set only")
+    p_sbench.add_argument("-o", "--output", default="BENCH_serve.json")
+    p_sbench.set_defaults(func=cmd_serve_bench)
 
     p_cert = sub.add_parser(
         "certify", help="clause/term resolution certificates (emit, check, stats)"

@@ -1,0 +1,90 @@
+"""Antecedent-closure tracking for cross-solve constraint retention.
+
+Every learned clause is a Q-resolution consequence of some set of (reduced)
+input clauses; every learned cube a term-resolution consequence of some set
+of initial cubes (models of the matrix). The :class:`ClosureSink` recovers
+that *axiom closure* passively from the certificate step stream the engine
+already produces through :class:`repro.certify.proof.ProofLogger`: input
+and initial-cube steps are their own singleton closures, resolution unions
+its two antecedents' closures, reduction inherits its antecedent's.
+
+Because resolution never introduces literals and reduction only removes
+them, every variable of every intermediate constraint of a derivation
+appears in some closure leaf — which is what lets
+:mod:`repro.incremental.solver` decide replayability under a *new* prefix
+by looking at leaf variables alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.certify.store import INITIAL_CUBE, INPUT_CLAUSE, REDUCTION, RESOLUTION
+
+#: closure-leaf tags: a reduced input clause, or an initial (model) cube.
+CLAUSE_LEAF = "c"
+CUBE_LEAF = "i"
+
+#: a leaf is (tag, canonical literal tuple).
+Leaf = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Retained:
+    """A learned constraint carried across solves, with its axiom closure."""
+
+    is_cube: bool
+    lits: Tuple[int, ...]
+    leaves: FrozenSet[Leaf]
+
+
+class ClosureSink:
+    """A certificate sink that computes axiom closures per step id.
+
+    Wraps an optional inner sink (``MemorySink``/``JsonlSink``) so a
+    certifying run records its proof unchanged while closures accumulate on
+    the side. Steps whose antecedents have no known closure (possible only
+    when a retained constraint was injected without :meth:`preset`, i.e.
+    in certifying mode) simply get none — the retention layer then drops
+    the affected constraints, which is the conservative direction.
+    """
+
+    def __init__(self, inner=None):
+        self._inner = inner
+        self.closure: Dict[int, FrozenSet[Leaf]] = {}
+
+    def preset(self, step_id: int, leaves: FrozenSet[Leaf]) -> None:
+        """Seed the closure of a pre-bound (retained) constraint id."""
+        self.closure[step_id] = frozenset(leaves)
+
+    def lookup(self, step_id: Optional[int]) -> Optional[FrozenSet[Leaf]]:
+        if step_id is None:
+            return None
+        return self.closure.get(step_id)
+
+    def emit(self, step: Dict[str, object]) -> None:
+        kind = step.get("type")
+        if kind == INPUT_CLAUSE:
+            lits = tuple(step["lits"])  # type: ignore[arg-type]
+            self.closure[step["id"]] = frozenset({(CLAUSE_LEAF, lits)})
+        elif kind == INITIAL_CUBE:
+            lits = tuple(step["lits"])  # type: ignore[arg-type]
+            self.closure[step["id"]] = frozenset({(CUBE_LEAF, lits)})
+        elif kind in (RESOLUTION, REDUCTION):
+            acc: FrozenSet[Leaf] = frozenset()
+            known = True
+            for ant in step["ant"]:  # type: ignore[union-attr]
+                part = self.closure.get(ant)
+                if part is None:
+                    known = False
+                    break
+                acc |= part
+            if known:
+                self.closure[step["id"]] = acc
+        if self._inner is not None:
+            self._inner.emit(step)
+
+    def close(self) -> None:
+        if self._inner is not None and hasattr(self._inner, "close"):
+            self._inner.close()

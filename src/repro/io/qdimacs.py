@@ -19,7 +19,8 @@ per the QDIMACS convention (and the paper's Section II point 2).
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, TextIO, Tuple, Union
+import warnings
+from typing import Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.core.constraints import sanitize_lits
 from repro.core.formula import QBF
@@ -29,6 +30,15 @@ from repro.core.prefix import Prefix
 
 class QdimacsError(ValueError):
     """Raised on malformed QDIMACS input."""
+
+
+class QdimacsWarning(UserWarning):
+    """Recoverable oddities in QDIMACS input (e.g. a lying clause count).
+
+    Benchmark files in the wild routinely declare a clause count that no
+    longer matches the body — often because a generator dropped
+    tautological clauses after writing the header — so a mismatch warns
+    instead of failing the parse."""
 
 
 def dumps(formula: QBF, comments: Iterable[str] = ()) -> str:
@@ -64,15 +74,32 @@ def loads(text: str) -> QBF:
     clauses: List[Tuple[int, ...]] = []
     declared: set = set()
     header_seen = False
+    declared_clauses: Optional[int] = None
+    raw_clause_lines = 0
     prefix_done = False
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("c"):
             continue
         if line.startswith("p"):
+            if header_seen:
+                raise QdimacsError("line %d: duplicate problem line" % lineno)
             parts = line.split()
             if len(parts) != 4 or parts[1] != "cnf":
                 raise QdimacsError("line %d: bad problem line %r" % (lineno, line))
+            try:
+                num_vars, num_clauses = int(parts[2]), int(parts[3])
+            except ValueError:
+                raise QdimacsError(
+                    "line %d: problem-line counts must be integers in %r"
+                    % (lineno, line)
+                ) from None
+            if num_vars < 0 or num_clauses < 0:
+                raise QdimacsError(
+                    "line %d: problem-line counts must be non-negative in %r"
+                    % (lineno, line)
+                )
+            declared_clauses = num_clauses
             header_seen = True
             continue
         if line[0] in "ea":
@@ -96,7 +123,14 @@ def loads(text: str) -> QBF:
             else:
                 blocks.append((quant, list(variables)))
             continue
+        if not header_seen:
+            # Headerless DIMACS fragments parse "successfully" otherwise,
+            # hiding truncated or mis-concatenated files.
+            raise QdimacsError(
+                "line %d: clause before the 'p cnf' problem line" % lineno
+            )
         prefix_done = True
+        raw_clause_lines += 1
         nums = _parse_ints(line, lineno)
         if not nums or nums[-1] != 0:
             raise QdimacsError("line %d: clause must end with 0" % lineno)
@@ -113,6 +147,13 @@ def loads(text: str) -> QBF:
         clauses.append(lits)
     if not header_seen and not blocks and not clauses:
         raise QdimacsError("empty input")
+    if declared_clauses is not None and declared_clauses != raw_clause_lines:
+        warnings.warn(
+            "problem line declares %d clauses but the body has %d"
+            % (declared_clauses, raw_clause_lines),
+            QdimacsWarning,
+            stacklevel=2,
+        )
     prefix = Prefix.linear([(q, tuple(vs)) for q, vs in blocks])
     return QBF.close(prefix, clauses)
 

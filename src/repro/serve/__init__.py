@@ -1,0 +1,18 @@
+"""The long-lived solver front-end: a local-socket daemon + sync client.
+
+``repro serve run`` starts an asyncio daemon on a unix socket that accepts
+newline-delimited JSON solve requests (see :mod:`repro.serve.protocol`).
+Generic QDIMACS/tree-prefix requests dispatch to :func:`repro.evalx.
+parallel.run_tasks` worker shards — inheriting its fault isolation, wall
+timeouts and checkpoint-based preemption — while SMV diameter-bound
+requests run in-process on per-family :class:`repro.incremental.
+IncrementalSolver` instances so learned constraints carry across bounds.
+Verdicts (and certificate statuses) are cached under the existing
+:meth:`repro.evalx.parallel.Task.key` fingerprint and persisted through
+:class:`repro.evalx.parallel.ResultsLog`.
+"""
+
+from repro.serve.client import request, wait_ready
+from repro.serve.daemon import ServeDaemon, run_daemon
+
+__all__ = ["ServeDaemon", "request", "run_daemon", "wait_ready"]

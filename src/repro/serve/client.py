@@ -1,0 +1,52 @@
+"""Synchronous client for the serve daemon (stdlib sockets only)."""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Dict, Optional
+
+
+class ServeClientError(RuntimeError):
+    """Connection or framing failure talking to the daemon."""
+
+
+def request(
+    socket_path: str, payload: Dict[str, object], timeout: float = 300.0
+) -> Dict[str, object]:
+    """Send one request, return its response object."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:  # EOF: fall through with whatever arrived
+                break
+            buf += chunk
+        if not buf:
+            raise ServeClientError("daemon closed the connection without replying")
+        return json.loads(buf.decode("utf-8"))
+
+
+def wait_ready(
+    socket_path: str, timeout: float = 30.0, poll: float = 0.05
+) -> None:
+    """Block until the daemon answers a ping (or raise after ``timeout``)."""
+    deadline = time.monotonic() + timeout
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        if os.path.exists(socket_path):
+            try:
+                if request(socket_path, {"kind": "ping"}, timeout=5.0).get("pong"):
+                    return
+            except (OSError, ServeClientError, json.JSONDecodeError) as exc:
+                last = exc
+        time.sleep(poll)
+    raise ServeClientError(
+        "daemon at %s did not become ready within %.1fs%s"
+        % (socket_path, timeout, ": %s" % last if last else "")
+    )

@@ -1,0 +1,374 @@
+"""The asyncio serve daemon: persistent solving over a unix socket.
+
+One process, three execution lanes:
+
+* protocol work (accept, parse, cache lookups) stays on the event loop;
+* generic ``solve`` requests run through :func:`repro.evalx.parallel.
+  run_tasks` with ``jobs=2`` — i.e. in a forked, fault-isolated worker
+  shard with the wall-timeout/SIGTERM/checkpoint machinery the batch
+  harness already has — driven from a thread-pool slot so the loop never
+  blocks;
+* ``smv-diameter`` requests run in-process (also on a thread-pool slot,
+  serialized per model family by an asyncio lock) so the family's
+  :class:`~repro.incremental.IncrementalSolver` keeps its learned
+  constraints between bounds.
+
+Verdicts are cached by the :meth:`repro.evalx.parallel.Task.key`
+fingerprint triple and persisted to a :class:`~repro.evalx.parallel.
+ResultsLog` (``--cache``): a restarted daemon reloads the log and serves
+old verdicts — certificate status included — without re-solving.
+
+Shutdown follows the repository's preemption path: SIGTERM/SIGINT set
+:func:`repro.robustness.interrupt.global_flag`, which every in-process
+solve polls, and wake the accept loop; in-flight requests drain (possibly
+with ``interrupted`` UNKNOWN verdicts, which are never cached), then the
+socket is removed and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from repro.core.result import Outcome
+from repro.evalx.parallel import (
+    Record,
+    ResultsLog,
+    STATUS_OK,
+    Task,
+    measurement_to_dict,
+    run_tasks,
+)
+from repro.evalx.runner import Budget, Measurement
+from repro.incremental import IncrementalSolver
+from repro.robustness.interrupt import InterruptFlag, global_flag
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    parse_budget,
+    validate_smv_request,
+)
+from repro.smv.incremental import DiameterFamily
+
+#: solver label recorded on in-process incremental smv runs.
+SMV_SOLVER_LABEL = "INC(stable)"
+
+
+class _Family:
+    """One model family's persistent encoder + incremental solver."""
+
+    def __init__(self, model, config=None):
+        self.model = model
+        self.encoder = DiameterFamily(model)
+        self.solver = IncrementalSolver(config)
+        self.lock = asyncio.Lock()
+
+
+class ServeDaemon:
+    def __init__(
+        self,
+        socket_path: str,
+        jobs: int = 2,
+        cache_path: Optional[str] = None,
+        wall_timeout: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        interrupt: Optional[InterruptFlag] = None,
+    ):
+        self.socket_path = socket_path
+        self.jobs = max(1, jobs)
+        self.wall_timeout = wall_timeout
+        self.checkpoint_dir = checkpoint_dir
+        self._interrupt = interrupt if interrupt is not None else global_flag()
+        self._log = ResultsLog(cache_path, durable=False) if cache_path else None
+        self._cache: Dict[Tuple[str, str, str], Record] = (
+            self._log.load() if self._log is not None else {}
+        )
+        self._cache_lock = asyncio.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._pool = ThreadPoolExecutor(max_workers=self.jobs)
+        self._slots = asyncio.Semaphore(self.jobs)
+        self.shutdown_event = asyncio.Event()
+        self.started = time.monotonic()
+        self.stats = {
+            "requests": 0,
+            "errors": 0,
+            "cache_hits": 0,
+            "solves": 0,
+            "incremental_solves": 0,
+        }
+
+    # -- cache -------------------------------------------------------------
+
+    async def _cache_put(self, record: Record) -> None:
+        async with self._cache_lock:
+            self._cache[record.key] = record
+            if self._log is not None:
+                self._log.append(record)
+
+    def _cached_response(self, record: Record) -> Dict[str, object]:
+        m = record.measurement
+        out: Dict[str, object] = {
+            "ok": record.ok,
+            "cached": True,
+            "status": record.status,
+            "protocol": PROTOCOL_VERSION,
+        }
+        if m is not None:
+            out.update(
+                outcome=m.outcome.value,
+                decisions=m.decisions,
+                seconds=m.seconds,
+                measurement=measurement_to_dict(m),
+            )
+            if m.certificate_status is not None:
+                out["certificate_status"] = m.certificate_status
+        return out
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _handle_solve(self, req: Dict[str, object]) -> Dict[str, object]:
+        text = req.get("formula")
+        fmt = req.get("format", "qdimacs")
+        if not isinstance(text, str):
+            raise ProtocolError("solve needs a string 'formula'")
+        if fmt == "qdimacs":
+            from repro.io import qdimacs
+
+            formula = qdimacs.loads(text)
+        elif fmt == "qtree":
+            from repro.io import qtree
+
+            formula = qtree.loads(text)
+        else:
+            raise ProtocolError("unknown formula format %r" % (fmt,))
+        mode = req.get("mode", "po")
+        if mode not in ("po", "to"):
+            raise ProtocolError("mode must be 'po' or 'to'")
+        overrides = []
+        if "engine" in req:
+            overrides.append(("engine", req["engine"]))
+        task = Task(
+            instance=str(req.get("instance", "serve")),
+            solver=str(req.get("solver", mode.upper())),
+            formula=formula,
+            mode=mode,
+            strategy=str(req.get("strategy", "eu_au")),
+            budget=parse_budget(req.get("budget")),
+            overrides=tuple(overrides),
+            certify=bool(req.get("certify", False)),
+        )
+        cached = self._cache.get(task.key)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            return self._cached_response(cached)
+
+        loop = asyncio.get_running_loop()
+        async with self._slots:
+            records = await loop.run_in_executor(
+                self._pool,
+                lambda: run_tasks(
+                    [task],
+                    jobs=2,
+                    wall_timeout=self.wall_timeout,
+                    checkpoint_dir=self.checkpoint_dir,
+                ),
+            )
+        record = records[0]
+        self.stats["solves"] += 1
+        m = record.measurement
+        if record.ok and m is not None and not m.interrupted:
+            await self._cache_put(record)
+        out = self._cached_response(record)
+        out["cached"] = False
+        return out
+
+    async def _handle_smv(self, req: Dict[str, object]) -> Dict[str, object]:
+        family_name, size, n = validate_smv_request(req)
+        from repro.smv.models import model_by_name
+
+        model = model_by_name(family_name, size)
+        budget = parse_budget(req.get("budget"))
+        fam = self._families.get(model.name)
+        if fam is None:
+            fam = _Family(model)
+            self._families[model.name] = fam
+
+        async with fam.lock:
+            formula = fam.encoder.formula(n)
+            task = Task(
+                instance="smv:%s:n=%d" % (model.name, n),
+                solver=SMV_SOLVER_LABEL,
+                formula=formula,
+                budget=budget,
+            )
+            cached = self._cache.get(task.key)
+            if cached is not None:
+                self.stats["cache_hits"] += 1
+                return self._cached_response(cached)
+            loop = asyncio.get_running_loop()
+            incremental = fam.solver.solves > 0
+            config = budget.to_config()
+
+            def solve_bound():
+                fam.solver.config = config
+                fam.solver.load(formula)
+                return fam.solver.solve(interrupt=self._interrupt)
+
+            async with self._slots:
+                result = await loop.run_in_executor(self._pool, solve_bound)
+        self.stats["solves"] += 1
+        if incremental:
+            self.stats["incremental_solves"] += 1
+        m = Measurement(
+            instance=task.instance,
+            solver=task.solver,
+            outcome=result.outcome,
+            decisions=result.stats.decisions,
+            seconds=result.seconds,
+            learned_clauses=result.stats.learned_clauses,
+            learned_cubes=result.stats.learned_cubes,
+            stats=result.stats,
+            interrupted=result.interrupted,
+        )
+        retained = fam.solver.last_retained_clauses + fam.solver.last_retained_cubes
+        if result.outcome is not Outcome.UNKNOWN:
+            await self._cache_put(
+                Record(
+                    instance=task.instance,
+                    solver=task.solver,
+                    fingerprint=task.fingerprint(),
+                    status=STATUS_OK,
+                    measurement=m,
+                )
+            )
+        return {
+            "ok": True,
+            "cached": False,
+            "incremental": incremental,
+            "retained": retained,
+            "outcome": result.outcome.value,
+            "decisions": result.stats.decisions,
+            "seconds": result.seconds,
+            "interrupted": result.interrupted,
+            "protocol": PROTOCOL_VERSION,
+        }
+
+    async def dispatch(self, req: Dict[str, object]) -> Dict[str, object]:
+        kind = req.get("kind", "solve")
+        if kind == "ping":
+            return {"ok": True, "pong": True, "protocol": PROTOCOL_VERSION}
+        if kind == "stats":
+            out = dict(self.stats)
+            out.update(
+                ok=True,
+                uptime=time.monotonic() - self.started,
+                cache_size=len(self._cache),
+                protocol=PROTOCOL_VERSION,
+            )
+            return out
+        if kind == "shutdown":
+            # The supported path is SIGTERM; this exists for clients that
+            # cannot signal (e.g. a remote-ish wrapper), and follows it.
+            self._interrupt.set()
+            self.shutdown_event.set()
+            return {"ok": True, "stopping": True, "protocol": PROTOCOL_VERSION}
+        if kind == "solve":
+            return await self._handle_solve(req)
+        if kind == "smv-diameter":
+            return await self._handle_smv(req)
+        raise ProtocolError("unknown request kind %r" % (kind,))
+
+    # -- server loop -------------------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            while not self.shutdown_event.is_set():
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                self.stats["requests"] += 1
+                request_id = None
+                try:
+                    req = json.loads(line)
+                    if not isinstance(req, dict):
+                        raise ProtocolError("request must be a JSON object")
+                    request_id = req.get("id")
+                    response = await self.dispatch(req)
+                except (ProtocolError, ValueError) as exc:
+                    self.stats["errors"] += 1
+                    response = error_response(str(exc), request_id)
+                if request_id is not None and "id" not in response:
+                    response["id"] = request_id
+                writer.write((json.dumps(response) + "\n").encode("utf-8"))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def run(self) -> None:
+        server = await asyncio.start_unix_server(
+            self._handle_conn, path=self.socket_path
+        )
+        try:
+            async with server:
+                await self.shutdown_event.wait()
+        finally:
+            self._pool.shutdown(wait=True)
+            if self._log is not None:
+                self._log.close()
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+
+
+def run_daemon(
+    socket_path: str,
+    jobs: int = 2,
+    cache_path: Optional[str] = None,
+    wall_timeout: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+) -> int:
+    """Blocking entry point: serve until SIGTERM/SIGINT, then exit 0."""
+
+    async def main() -> None:
+        flag = global_flag()
+        flag.clear()
+        daemon = ServeDaemon(
+            socket_path,
+            jobs=jobs,
+            cache_path=cache_path,
+            wall_timeout=wall_timeout,
+            checkpoint_dir=checkpoint_dir,
+            interrupt=flag,
+        )
+        loop = asyncio.get_running_loop()
+
+        def initiate_shutdown(signum: int) -> None:
+            # Same cooperative path as the batch harness: the flag stops
+            # in-flight solves at their next poll, the event stops accepts.
+            flag.set(signum)
+            daemon.shutdown_event.set()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, initiate_shutdown, sig)
+        try:
+            await daemon.run()
+        finally:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(sig)
+
+    asyncio.run(main())
+    return 0

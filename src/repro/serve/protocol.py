@@ -1,0 +1,77 @@
+"""Wire protocol of the serve daemon: newline-delimited JSON over a socket.
+
+Requests are single JSON objects, one per line; every request gets exactly
+one JSON response line. ``kind`` selects the handler:
+
+``ping``
+    liveness probe; responds ``{"ok": true, "pong": true}``.
+``stats``
+    daemon counters (requests, cache hits, incremental solves, uptime).
+``solve``
+    a one-shot solve of an inlined formula: ``formula`` (text) +
+    ``format`` ("qdimacs" or "qtree"), optional ``mode`` ("po"/"to"),
+    ``strategy``, ``budget`` ({"decisions", "seconds"}), ``certify``,
+    ``engine``. Dispatched to a fault-isolated worker shard.
+``smv-diameter``
+    one bound of a model family's diameter sweep: ``family``, ``size``,
+    ``n``, optional ``budget``. Solved in-process on the family's
+    persistent incremental solver.
+
+Responses always carry ``ok``; successful solve responses add ``outcome``,
+``decisions``, ``seconds``, ``cached`` (verdict served from the fingerprint
+cache) and — for smv requests — ``incremental`` (the family solver had
+prior state) and ``retained`` (constraints transferred into this solve).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.evalx.runner import Budget
+
+#: bumped when a response field changes meaning; echoed on every response.
+PROTOCOL_VERSION = 1
+
+KINDS = ("ping", "stats", "solve", "smv-diameter", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed requests; reported to the client, never fatal."""
+
+
+def parse_budget(payload: Optional[Dict[str, object]]) -> Budget:
+    if payload is None:
+        return Budget()
+    if not isinstance(payload, dict):
+        raise ProtocolError("budget must be an object")
+    decisions = payload.get("decisions", 2000)
+    seconds = payload.get("seconds")
+    if decisions is not None and (not isinstance(decisions, int) or decisions <= 0):
+        raise ProtocolError("budget.decisions must be a positive integer")
+    if seconds is not None and not isinstance(seconds, (int, float)):
+        raise ProtocolError("budget.seconds must be a number")
+    return Budget(decisions=decisions, seconds=seconds)
+
+
+def error_response(message: str, request_id: Optional[object] = None) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "ok": False,
+        "error": message,
+        "protocol": PROTOCOL_VERSION,
+    }
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+def validate_smv_request(req: Dict[str, object]) -> Tuple[str, int, int]:
+    family = req.get("family")
+    size = req.get("size")
+    n = req.get("n")
+    if not isinstance(family, str):
+        raise ProtocolError("smv-diameter needs a string 'family'")
+    if not isinstance(size, int) or size < 1:
+        raise ProtocolError("smv-diameter needs a positive integer 'size'")
+    if not isinstance(n, int) or n < 0:
+        raise ProtocolError("smv-diameter needs a non-negative integer 'n'")
+    return family, size, n

@@ -1,15 +1,17 @@
 """Tests for the QDIMACS reader/writer."""
 
 import random
+import warnings
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.formula import QBF, paper_example
 from repro.core.literals import EXISTS, FORALL
 from repro.core.solver import solve
-from repro.generators.random_qbf import random_prenex_qbf
+from repro.generators.random_qbf import random_prenex_qbf, random_tree_qbf
 from repro.io import qdimacs
-from repro.io.qdimacs import QdimacsError
+from repro.io.qdimacs import QdimacsError, QdimacsWarning
 from repro.prenexing.strategies import prenex
 
 
@@ -60,6 +62,45 @@ class TestLoads:
         with pytest.raises(QdimacsError):
             qdimacs.loads("")
 
+    def test_rejects_non_integer_header_counts(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p cnf foo bar\ne 1 0\n1 0\n")
+
+    def test_rejects_negative_header_counts(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p cnf -1 2\ne 1 0\n1 0\n")
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p cnf 1 -2\ne 1 0\n1 0\n")
+
+    def test_rejects_duplicate_header(self):
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("p cnf 1 1\np cnf 1 1\ne 1 0\n1 0\n")
+
+    def test_rejects_clause_without_header(self):
+        # Propositional DIMACS with no 'p' line used to parse silently.
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("1 2 0\n-1 0\n")
+        with pytest.raises(QdimacsError):
+            qdimacs.loads("e 1 0\n1 0\n")
+
+    def test_warns_on_clause_count_mismatch(self):
+        with pytest.warns(QdimacsWarning):
+            phi = qdimacs.loads("p cnf 2 5\ne 1 2 0\n1 2 0\n")
+        assert phi.num_clauses == 1
+
+    def test_mismatch_counts_raw_lines_not_sanitized_clauses(self):
+        # The declared count refers to clause *lines*; a dropped tautology
+        # must not trigger the warning when the line count matches.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            phi = qdimacs.loads("p cnf 2 2\ne 1 2 0\n1 -1 2 0\n2 0\n")
+        assert phi.num_clauses == 1
+
+    def test_exact_count_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            qdimacs.loads(SAMPLE)
+
     def test_duplicate_literals_deduplicated(self):
         phi = qdimacs.loads("p cnf 2 1\ne 1 2 0\n1 1 2 0\n")
         assert phi.clauses[0].lits == (1, 2)
@@ -103,3 +144,42 @@ def test_roundtrip_random(seed):
     again = qdimacs.loads(qdimacs.dumps(phi))
     assert again == phi
     assert solve(again).value == solve(phi).value
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_blocks=st.integers(min_value=1, max_value=5),
+    block_size=st.integers(min_value=1, max_value=4),
+    num_clauses=st.integers(min_value=0, max_value=16),
+    from_tree=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_roundtrip_property(seed, num_blocks, block_size, num_clauses, from_tree):
+    """load(dumps(f)) is the identity on prenex generator formulas.
+
+    Covers prefixes the seeded test never reaches: zero clauses, prenexed
+    tree formulas (whose block merge order is decided by the prenexing
+    strategy, not the generator), and wide blocks."""
+    rng = random.Random(seed)
+    if from_tree:
+        phi = prenex(
+            random_tree_qbf(
+                rng,
+                depth=min(num_blocks, 3),
+                block_size=block_size,
+                clauses_per_scope=max(1, num_clauses // 4),
+            ),
+            "eu_au",
+        )
+    else:
+        phi = random_prenex_qbf(
+            rng,
+            num_blocks=num_blocks,
+            block_size=block_size,
+            num_clauses=num_clauses,
+        )
+    text = qdimacs.dumps(phi)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # round trips must not warn either
+        again = qdimacs.loads(text)
+    assert again == phi

@@ -1,0 +1,113 @@
+"""Serve daemon smoke tests: the CI leg of ISSUE 6.
+
+Starts a real daemon subprocess on a unix socket, submits two related SMV
+bound requests, asserts the second is an incremental hit (the family's
+persistent solver had prior state) and that a repeat is a fingerprint-cache
+hit, then shuts the daemon down via the SIGTERM preemption path and checks
+the exit is clean.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.client import request, wait_ready
+from repro.serve.protocol import parse_budget, ProtocolError
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    socket_path = str(tmp_path / "serve.sock")
+    cache_path = str(tmp_path / "cache.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [env.get("PYTHONPATH"), os.path.join(os.getcwd(), "src")] if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "run",
+         "--socket", socket_path, "--cache", cache_path],
+        env=env,
+    )
+    try:
+        wait_ready(socket_path, timeout=60.0)
+        yield proc, socket_path, cache_path
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30.0)
+
+
+def test_serve_smoke_incremental_cache_and_sigterm(daemon):
+    proc, socket_path, cache_path = daemon
+
+    first = request(
+        socket_path,
+        {"kind": "smv-diameter", "family": "counter", "size": 2, "n": 0},
+    )
+    assert first["ok"] and first["outcome"] == "true"
+    assert not first["cached"] and not first["incremental"]
+
+    second = request(
+        socket_path,
+        {"kind": "smv-diameter", "family": "counter", "size": 2, "n": 1},
+    )
+    assert second["ok"] and second["outcome"] == "true"
+    # related bound on the same family: served by the persistent
+    # incremental solver (or, on a re-run against a warm cache, the cache)
+    assert second["incremental"] or second["cached"]
+
+    repeat = request(
+        socket_path,
+        {"kind": "smv-diameter", "family": "counter", "size": 2, "n": 1},
+    )
+    assert repeat["ok"] and repeat["cached"]
+    assert repeat["outcome"] == second["outcome"]
+
+    stats = request(socket_path, {"kind": "stats"})
+    assert stats["cache_hits"] >= 1 and stats["solves"] >= 2
+
+    # clean shutdown through the SIGTERM path
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30.0) == 0
+
+    # the verdict cache was persisted
+    with open(cache_path) as handle:
+        rows = [json.loads(line) for line in handle if line.strip()]
+    assert any(r["instance"].startswith("smv:counter2") for r in rows)
+
+
+def test_serve_generic_solve_and_error_paths(daemon):
+    proc, socket_path, _ = daemon
+    qd = "p cnf 2 2\ne 1 0\na 2 0\n1 2 0\n1 -2 0\n"
+    first = request(
+        socket_path,
+        {"kind": "solve", "formula": qd, "format": "qdimacs", "instance": "smoke"},
+    )
+    assert first["ok"] and first["outcome"] == "true" and not first["cached"]
+    again = request(
+        socket_path,
+        {"kind": "solve", "formula": qd, "format": "qdimacs", "instance": "smoke"},
+    )
+    assert again["ok"] and again["cached"] and again["outcome"] == "true"
+
+    bad = request(socket_path, {"kind": "no-such-kind"})
+    assert not bad["ok"] and "kind" in bad["error"]
+    malformed = request(
+        socket_path, {"kind": "solve", "formula": "p cnf oops\n", "id": 7}
+    )
+    assert not malformed["ok"] and malformed["id"] == 7
+
+
+def test_parse_budget_validation():
+    assert parse_budget(None).decisions == 2000
+    assert parse_budget({"decisions": 10, "seconds": 1.5}).seconds == 1.5
+    with pytest.raises(ProtocolError):
+        parse_budget({"decisions": -1})
+    with pytest.raises(ProtocolError):
+        parse_budget({"seconds": "soon"})
+    with pytest.raises(ProtocolError):
+        parse_budget("fast")
