@@ -1,0 +1,831 @@
+"""The cube-and-conquer coordinator: one instance, N worker processes.
+
+Work-splitting is the quantifier-tree decomposition of
+:mod:`repro.cube.splitter`; workers are forked with the same
+process/pipe/signal idioms as the :mod:`repro.evalx.parallel` slot
+machinery, but as a *persistent pool*: each of the ``jobs`` processes is
+forked once and then pulls cube after cube from a job queue, so the
+per-cube overhead is a queue round-trip, not a fork. Each cube runs the
+layered engine on its subproblem:
+
+* **incremental fast path** — a non-certified cube over original-outermost
+  existential variables is solved through
+  :class:`repro.incremental.IncrementalSolver` assumption scopes (the
+  engine then works in the original variable space, so shared clauses
+  install untranslated);
+* **cofactor path** — everything else solves the explicitly cofactored
+  leaf formula, with the clause/index map retained for the certificate
+  merge (:mod:`repro.cube.merge`).
+
+Constraint sharing rides bounded multiprocessing queues (one shared
+outbox, one inbox per worker; everything non-blocking and lossy — see
+:mod:`repro.cube.sharing`). The coordinator relays each export to every
+other worker and keeps a bounded pool to seed respawned workers.
+
+Verdicts fold up the split tree (existential split: any TRUE branch wins;
+universal split: any FALSE branch wins — :func:`repro.cube.splitter.
+fold_outcomes`), and a worker whose current cube is already settled by a
+sibling is cancelled early: SIGTERM sets the worker's
+:mod:`repro.robustness` interrupt flag, the engine exits UNKNOWN at the
+next quiescent point, and the worker moves on to the next cube. A
+preempted cube that was *not* the cancellation target (the signal raced a
+job hand-off) is simply re-enqueued.
+
+A worker that exhausts its decision budget flushes a ``repro-ckpt``
+checkpoint (steal-by-checkpoint). The coordinator then either *re-splits*
+the leaf — the subproblem still has branchable variables and depth budget,
+so it becomes two fresh cubes — or re-enqueues it with a doubled budget,
+resuming the checkpoint (the checkpoint config digest deliberately ignores
+budget fields, and in certify mode the proof steps travel inside the
+checkpoint, so the escalated run continues one unbroken derivation).
+
+``jobs=1`` is the genuine sequential baseline: no splitting, no fork, no
+sharing — the plain engine on the whole formula (still routed through the
+fragment/merge path when certifying, so the certificate machinery is
+identical).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as stdlib_queue
+import shutil
+import signal
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS, var_of
+from repro.core.result import Outcome
+from repro.core.solver import solve
+from repro.evalx.parallel import STATUS_CRASH, STATUS_OK, _mp_context
+from repro.evalx.runner import Budget
+from repro.robustness.checkpoint import CheckpointError, load_checkpoint
+from repro.robustness.interrupt import global_flag
+from repro.cube.merge import LeafFragment, MergeReport, merge_certificates
+from repro.cube.sharing import MAX_SHARED_LITS, AdmissionFilter, Exchange
+from repro.cube.splitter import SplitNode, build_split, cofactor, fold_outcomes, split_leaf
+
+#: default per-attempt decision budget of one leaf.
+DEFAULT_LEAF_DECISIONS = 500
+#: default number of initial cubes, as a multiple of ``jobs``. Oversplitting
+#: relative to the worker count is deliberate: it keeps the job queue deep
+#: enough that no worker idles, and on the decomposable families the extra
+#: cofactoring keeps cutting total decisions well past ``jobs`` cubes.
+INITIAL_CUBES_PER_JOB = 16
+#: give a signalled/sentinelled worker this long before SIGKILL.
+SHUTDOWN_GRACE_SECONDS = 5.0
+#: cap on the constraint pool used to seed respawned workers.
+POOL_MAX = 256
+#: crashes tolerated per leaf before it is written off as UNKNOWN.
+MAX_CRASHES = 2
+#: budget doublings tried on an over-budget leaf before re-splitting it.
+RESPLIT_AFTER_ESCALATIONS = 1
+
+
+@dataclass
+class CubeJob:
+    """One unit of work: solve the formula under this cube."""
+
+    worker_id: int
+    key: int
+    path: Tuple[int, ...]
+    budget_decisions: Optional[int]
+    engine: Optional[str] = None
+    certify: bool = False
+    ckpt_path: Optional[str] = None
+    resume: bool = False
+    max_shared_lits: int = MAX_SHARED_LITS
+    preload: List[Tuple[int, bool, Tuple[int, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class CubeReport:
+    """The coordinator's answer plus its work accounting."""
+
+    outcome: Outcome
+    seconds: float
+    jobs: int
+    leaves: int
+    total_decisions: int
+    workers_launched: int = 0
+    escalations: int = 0
+    resplits: int = 0
+    cancelled: int = 0
+    crashes: int = 0
+    interrupted: bool = False
+    share: Dict[str, object] = field(default_factory=dict)
+    certificate: Optional[MergeReport] = None
+    certificate_status: Optional[str] = None
+    root: Optional[SplitNode] = None
+
+
+# -- the worker body ---------------------------------------------------------
+
+
+def _incremental_eligible(formula: QBF, path: Tuple[int, ...]) -> bool:
+    """True when every cube literal is an original-outermost existential —
+    the :meth:`IncrementalSolver.push` contract."""
+    prefix = formula.prefix
+    return bool(path) and all(
+        prefix.quant(var_of(l)) is EXISTS and prefix.level(var_of(l)) == 1
+        for l in path
+    )
+
+
+def solve_cube_job(
+    job: CubeJob,
+    formula: QBF,
+    outbox=None,
+    inbox=None,
+    interrupt=None,
+) -> Dict[str, object]:
+    """Solve one cube; returns the wire payload (plain JSON-able dict).
+
+    Each cube gets a fresh solver on purpose. Keeping one warm
+    ``IncrementalSolver`` per worker and push/solve/popping cubes
+    through it was measured 3-6x *slower* end to end: the retained
+    constraint database accumulated across sibling cubes outweighs the
+    per-cube formula load it saves. Cross-cube reuse happens through the
+    explicit sharing bus instead, where the admission filter bounds it.
+    """
+    started = time.monotonic()
+    config = Budget(decisions=job.budget_decisions).to_config(
+        **({"engine": job.engine} if job.engine else {})
+    )
+    share = outbox is not None or inbox is not None or bool(job.preload)
+    fragment: Optional[Dict[str, object]] = None
+    exchange: Optional[Exchange] = None
+
+    resume = None
+    if job.resume and job.ckpt_path:
+        try:
+            resume = load_checkpoint(job.ckpt_path)
+        except CheckpointError:
+            resume = None  # stale/corrupt snapshot: redo the attempt fresh
+
+    if not job.certify and _incremental_eligible(formula, job.path):
+        from repro.incremental.solver import IncrementalSolver
+
+        if share:
+            admission = AdmissionFilter(
+                formula, max_lits=job.max_shared_lits, cubes_ok=False
+            )
+            exchange = Exchange(
+                job.worker_id,
+                job.path,
+                outbox,
+                inbox,
+                admission,
+                max_lits=job.max_shared_lits,
+                lift_cubes=False,
+                preload=job.preload,
+            )
+        # retain=False: this solver lives for exactly one cube, so the
+        # retention bookkeeping (proof-closure tagging of every learned
+        # constraint) would be pure overhead — sharing goes through the
+        # exchange instead.
+        inc = IncrementalSolver(config, retain=False)
+        inc.load(formula)
+        inc.push(*job.path)
+        try:
+            result = inc.solve(
+                interrupt=interrupt,
+                checkpoint_to=job.ckpt_path,
+                resume_from=resume,
+                exchange=exchange,
+            )
+        except CheckpointError:
+            result = inc.solve(
+                interrupt=interrupt, checkpoint_to=job.ckpt_path, exchange=exchange
+            )
+    else:
+        leaf, clause_map = cofactor(formula, job.path)
+        if share:
+            admission = AdmissionFilter(
+                formula,
+                receiver_prefix=leaf.prefix,
+                assumptions=job.path,
+                max_lits=job.max_shared_lits,
+                cubes_ok=True,
+            )
+            # Certified workers export but never import: an imported
+            # constraint has no derivation on record, so any analysis
+            # touching it would poison the proof into incompleteness.
+            exchange = Exchange(
+                job.worker_id,
+                job.path,
+                outbox,
+                None if job.certify else inbox,
+                admission,
+                max_lits=job.max_shared_lits,
+                preload=[] if job.certify else job.preload,
+            )
+
+        def run(resume_ckpt):
+            if job.certify:
+                from repro.certify import MemorySink, ProofLogger, certifying_config
+
+                sink = MemorySink()
+                logger = None
+                if resume_ckpt is not None and resume_ckpt.proof is not None:
+                    steps = resume_ckpt.extra.get("proof_steps")
+                    if steps is not None:
+                        sink.steps = [dict(s) for s in steps]
+                        logger = ProofLogger.resumed(sink, resume_ckpt.proof)
+                if logger is None:
+                    logger = ProofLogger(sink)
+                result = solve(
+                    leaf,
+                    certifying_config(config),
+                    proof=logger,
+                    interrupt=interrupt,
+                    resume_from=resume_ckpt,
+                    checkpoint_to=job.ckpt_path,
+                    exchange=exchange,
+                )
+                return result, LeafFragment(job.path, clause_map, sink.steps)
+            result = solve(
+                leaf,
+                config,
+                interrupt=interrupt,
+                resume_from=resume_ckpt,
+                checkpoint_to=job.ckpt_path,
+                exchange=exchange,
+            )
+            return result, None
+
+        try:
+            result, frag = run(resume)
+        except CheckpointError:
+            result, frag = run(None)
+        if frag is not None:
+            fragment = frag.to_payload()
+
+    return {
+        "key": job.key,
+        "outcome": result.outcome.name,
+        "decisions": result.stats.decisions,
+        "seconds": result.seconds,
+        "interrupted": result.interrupted,
+        "learned_clauses": result.stats.learned_clauses,
+        "learned_cubes": result.stats.learned_cubes,
+        "fragment": fragment,
+        "share": exchange.stats() if exchange is not None else None,
+        "elapsed": time.monotonic() - started,
+    }
+
+
+#: worker → coordinator message tags (first element after the worker id).
+MSG_START = "start"
+MSG_DONE = "done"
+
+
+def _cube_worker_loop(worker_id, formula, jobq, resultq, outbox, inbox) -> None:
+    """Persistent worker: pull cubes until the ``None`` sentinel.
+
+    SIGTERM is the *cancel current cube* signal, not a shutdown: it sets
+    the interrupt flag, the engine winds up UNKNOWN at the next quiescent
+    point, and the loop clears the flag before the next cube.
+    """
+    flag = global_flag()
+    flag.clear()
+    try:
+        # Forked children inherit the parent's signal wakeup fd (asyncio
+        # loops set one); left in place, this worker's SIGTERM bytes would
+        # land in the parent loop's self-pipe and read as a parent
+        # shutdown. Detach before installing our own handler.
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    signal.signal(signal.SIGTERM, flag.set)
+    while True:
+        try:
+            job = jobq.get()
+        except (EOFError, OSError):  # queue torn down: coordinator is gone
+            return
+        if job is None:
+            return
+        flag.clear()
+        job.worker_id = worker_id
+        try:
+            resultq.put((worker_id, MSG_START, job.key))
+            payload = solve_cube_job(job, formula, outbox, inbox, interrupt=flag)
+            resultq.put((worker_id, MSG_DONE, (STATUS_OK, payload)))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException:
+            try:
+                resultq.put(
+                    (worker_id, MSG_DONE, (STATUS_CRASH, traceback.format_exc()))
+                )
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                return
+
+
+# -- the coordinator ---------------------------------------------------------
+
+
+class _Worker:
+    __slots__ = ("id", "proc", "inbox", "current_key", "cancel_key")
+
+    def __init__(self, worker_id: int, proc, inbox):
+        self.id = worker_id
+        self.proc = proc
+        self.inbox = inbox
+        #: key of the cube this worker is believed to be solving.
+        self.current_key: Optional[int] = None
+        #: key this worker was SIGTERM'd over (to tell a targeted cancel
+        #: from a collateral preemption when the UNKNOWN result arrives).
+        self.cancel_key: Optional[int] = None
+
+
+def _settled_above(node: SplitNode) -> bool:
+    """True when some proper ancestor's verdict is already decided — this
+    leaf can no longer influence the root and is dead work."""
+    cur = node.parent
+    while cur is not None:
+        if fold_outcomes(cur) is not None:
+            return True
+        cur = cur.parent
+    return False
+
+
+class _Coordinator:
+    def __init__(
+        self,
+        formula: QBF,
+        jobs: int,
+        leaf_decisions: int,
+        certify: bool,
+        share: bool,
+        seed: int,
+        engine: Optional[str],
+        max_depth: int,
+        initial_cubes: Optional[int],
+        wall_timeout: Optional[float],
+        interrupt,
+        workdir: Optional[str],
+        max_shared_lits: int,
+        max_escalations: int,
+    ):
+        self.formula = formula
+        self.jobs = jobs
+        self.leaf_decisions = leaf_decisions
+        self.certify = certify
+        self.share = share
+        self.seed = seed
+        self.engine = engine
+        self.max_depth = max_depth
+        self.initial_cubes = initial_cubes or max(INITIAL_CUBES_PER_JOB * jobs, 2)
+        self.wall_timeout = wall_timeout
+        self.interrupt = interrupt
+        self.max_shared_lits = max_shared_lits
+        self.max_escalations = max_escalations
+        self._own_workdir = workdir is None
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-cube-")
+        self.ctx = _mp_context()
+        self.jobq = None
+        self.resultq = None
+        self.outbox = None
+        self.pool: List[Tuple[int, bool, Tuple[int, ...]]] = []
+        self.pending: List[SplitNode] = []
+        self.workers: Dict[int, _Worker] = {}
+        self.nodes: Dict[int, SplitNode] = {}
+        self.outstanding: Dict[int, SplitNode] = {}
+        self.next_key = 0
+        self.next_worker = 0
+        self.report = CubeReport(
+            outcome=Outcome.UNKNOWN,
+            seconds=0.0,
+            jobs=jobs,
+            leaves=0,
+            total_decisions=0,
+        )
+        self.share_totals = {"exported": 0, "export_dropped": 0, "imported": 0}
+        self.rejected_totals: Dict[str, int] = {}
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _stamp(self, node: SplitNode) -> None:
+        if node.key < 0:
+            node.key = self.next_key
+            self.nodes[node.key] = node
+            self.next_key += 1
+        if not node.budget:
+            node.budget = self.leaf_decisions
+
+    def _ckpt_path(self, node: SplitNode) -> str:
+        return os.path.join(self.workdir, "cube-%d.repro-ckpt" % node.key)
+
+    def _interrupted(self) -> bool:
+        flag = self.interrupt
+        if flag is None:
+            return False
+        check = getattr(flag, "is_set", None)
+        return bool(check() if check is not None else flag())
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        worker_id = self.next_worker
+        self.next_worker += 1
+        inbox = self.ctx.Queue(maxsize=1024) if self.share else None
+        proc = self.ctx.Process(
+            target=_cube_worker_loop,
+            args=(worker_id, self.formula, self.jobq, self.resultq, self.outbox, inbox),
+            daemon=True,
+        )
+        proc.start()
+        self.workers[worker_id] = _Worker(worker_id, proc, inbox)
+        self.report.workers_launched += 1
+
+    def _enqueue(self, node: SplitNode, resume: bool) -> None:
+        self._stamp(node)
+        node.attempts += 1
+        self.outstanding[node.key] = node
+        self.jobq.put(
+            CubeJob(
+                worker_id=-1,
+                key=node.key,
+                path=node.path,
+                budget_decisions=node.budget,
+                engine=self.engine,
+                certify=self.certify,
+                ckpt_path=self._ckpt_path(node),
+                resume=resume,
+                max_shared_lits=self.max_shared_lits,
+                preload=[],
+            )
+        )
+
+    def _cancel_current(self, worker: _Worker) -> None:
+        """Abort the cube ``worker`` is on (SIGTERM → interrupt flag)."""
+        if worker.cancel_key == worker.current_key:
+            return  # already signalled for this cube
+        worker.cancel_key = worker.current_key
+        if worker.proc.is_alive():
+            try:
+                os.kill(worker.proc.pid, signal.SIGTERM)
+            except (ProcessLookupError, OSError):  # pragma: no cover
+                pass
+        self.report.cancelled += 1
+
+    def _drain_bus(self) -> None:
+        if self.outbox is None:
+            return
+        while True:
+            try:
+                item = self.outbox.get_nowait()
+            except stdlib_queue.Empty:
+                return
+            except (EOFError, OSError):  # pragma: no cover - torn bus
+                return
+            self.pool.append(item)
+            if len(self.pool) > POOL_MAX:
+                del self.pool[: len(self.pool) - POOL_MAX]
+            for worker in self.workers.values():
+                if worker.inbox is None:
+                    continue
+                try:
+                    worker.inbox.put_nowait(item)
+                except stdlib_queue.Full:
+                    pass
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+
+    # -- result handling ----------------------------------------------------
+
+    def _absorb_share(self, stats: Optional[Dict[str, object]]) -> None:
+        if not stats:
+            return
+        for key in ("exported", "export_dropped", "imported"):
+            self.share_totals[key] += int(stats.get(key, 0))
+        for reason, count in (stats.get("import_rejected") or {}).items():
+            self.rejected_totals[reason] = self.rejected_totals.get(reason, 0) + count
+
+    def _on_done(self, worker: _Worker, status: str, payload, shutdown: bool) -> None:
+        key = worker.current_key
+        worker.current_key = None
+        cancelled = worker.cancel_key is not None and worker.cancel_key == key
+        worker.cancel_key = None
+        node = self.nodes.get(key) if key is not None else None
+        if key is not None:
+            self.outstanding.pop(key, None)
+        if node is None:  # pragma: no cover - protocol confusion
+            return
+        if status != STATUS_OK:
+            self.report.crashes += 1
+            self._respawn(worker)
+            if not shutdown and not cancelled and not _settled_above(node):
+                if node.attempts <= MAX_CRASHES:
+                    self.pending.append(node)
+                else:
+                    node.outcome = Outcome.UNKNOWN
+            return
+        outcome = Outcome[payload["outcome"]]
+        self.report.total_decisions += int(payload.get("decisions", 0))
+        self._absorb_share(payload.get("share"))
+        if outcome in (Outcome.TRUE, Outcome.FALSE):
+            node.outcome = outcome
+            node.decisions = int(payload.get("decisions", 0))
+            frag = payload.get("fragment")
+            if frag is not None:
+                node.fragment = LeafFragment.from_payload(frag)
+            return
+        # UNKNOWN: preempted or out of budget.
+        node.interrupted = bool(payload.get("interrupted"))
+        if cancelled or _settled_above(node):
+            node.cancelled = True
+            return
+        if shutdown:
+            return
+        if node.interrupted:
+            # Collateral preemption: the cancel signal raced the job
+            # hand-off and hit the wrong cube. Just run it again (the
+            # checkpoint, if flushed, resumes the partial work).
+            self.pending.append(node)
+            return
+        self._escalate(node)
+
+    def _respawn(self, worker: _Worker) -> None:
+        """Replace a crashed worker process (its queues are abandoned)."""
+        proc = worker.proc
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=SHUTDOWN_GRACE_SECONDS)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.kill()
+            proc.join(timeout=1.0)
+        if worker.inbox is not None:
+            worker.inbox.cancel_join_thread()
+            worker.inbox.close()
+        self.workers.pop(worker.id, None)
+        self.report.crashes = self.report.crashes  # no-op; kept for clarity
+        self._spawn_worker()
+
+    def _escalate(self, node: SplitNode) -> None:
+        """A leaf blew its budget.
+
+        Cheap first: double the budget and resume the checkpoint — no work
+        is discarded. Only after a couple of doublings still fail do we
+        re-split the cube (splitting throws the partial search away and
+        doubles the leaf count, which thrashes badly when the cofactors are
+        not actually easier than their parent). Re-split children inherit
+        the escalated budget for the same reason.
+        """
+        can_double = node.attempts <= self.max_escalations
+        if can_double and node.attempts <= RESPLIT_AFTER_ESCALATIONS:
+            node.budget *= 2
+            self.report.escalations += 1
+            self.pending.append(node)
+            return
+        if node.depth() < self.max_depth:
+            leaf, _ = cofactor(self.formula, node.path)
+            if split_leaf(node, leaf, self.seed):
+                self.report.resplits += 1
+                try:
+                    os.unlink(self._ckpt_path(node))
+                except OSError:
+                    pass
+                for child in (node.pos, node.neg):
+                    child.budget = node.budget
+                    self._stamp(child)
+                    self.pending.append(child)
+                return
+        if not can_double:
+            node.outcome = Outcome.UNKNOWN
+            return
+        node.budget *= 2
+        self.report.escalations += 1
+        self.pending.append(node)
+
+    # -- the main loop ------------------------------------------------------
+
+    def run(self) -> CubeReport:
+        started = time.monotonic()
+        root = build_split(
+            self.formula, self.initial_cubes, seed=self.seed, max_depth=self.max_depth
+        )
+        self.report.root = root
+        self.jobq = self.ctx.Queue()
+        self.resultq = self.ctx.Queue()
+        if self.share:
+            self.outbox = self.ctx.Queue(maxsize=4096)
+        for leaf in root.leaves():
+            self._stamp(leaf)
+            self.pending.append(leaf)
+        self.pending.sort(key=lambda n: n.path)
+        for _ in range(self.jobs):
+            self._spawn_worker()
+        shutdown = False
+        try:
+            while True:
+                now = time.monotonic()
+                decided = fold_outcomes(root)
+                timed_out = (
+                    self.wall_timeout is not None
+                    and now - started > self.wall_timeout
+                )
+                if self._interrupted() or timed_out:
+                    self.report.interrupted = self.report.interrupted or self._interrupted()
+                    shutdown = True
+                if decided is not None or shutdown:
+                    break
+                # Cancel workers grinding cubes a sibling already settled.
+                for worker in self.workers.values():
+                    key = worker.current_key
+                    if key is None or worker.cancel_key == key:
+                        continue
+                    node = self.nodes.get(key)
+                    if node is not None and _settled_above(node):
+                        self._cancel_current(worker)
+                # Keep the job queue primed a few cubes deep per worker —
+                # easy cubes drain in milliseconds, and a shallow queue
+                # starves the pool on coordinator poll latency — but still
+                # bounded, so re-splits and budget escalations see
+                # reasonably fresh state when they dequeue.
+                while self.pending and len(self.outstanding) < 4 * self.jobs:
+                    node = self.pending.pop(0)
+                    if _settled_above(node):
+                        node.cancelled = True
+                        continue
+                    resume = node.attempts > 0 and os.path.exists(
+                        self._ckpt_path(node)
+                    )
+                    self._enqueue(node, resume=resume)
+                if not self.outstanding and not self.pending:
+                    break
+                self._drain_bus()
+                self._pump_results(shutdown=False, timeout=0.02)
+        finally:
+            self._shutdown_pool()
+            if self._own_workdir:
+                shutil.rmtree(self.workdir, ignore_errors=True)
+        report = self.report
+        folded = fold_outcomes(root)
+        # NB: Outcome.FALSE is falsy (and UNKNOWN raises on bool), so this
+        # must be an explicit None test, not an ``or`` fallback.
+        report.outcome = Outcome.UNKNOWN if folded is None else folded
+        report.seconds = time.monotonic() - started
+        report.leaves = len(root.leaves())
+        report.share = dict(self.share_totals)
+        report.share["import_rejected"] = dict(self.rejected_totals)
+        if self.certify:
+            from repro.certify import check_certificate
+
+            report.certificate = merge_certificates(root, self.formula.prefix)
+            report.certificate_status = check_certificate(
+                self.formula, report.certificate.sink
+            ).status
+        return report
+
+    def _pump_results(self, shutdown: bool, timeout: float) -> None:
+        try:
+            worker_id, tag, body = self.resultq.get(timeout=timeout)
+        except stdlib_queue.Empty:
+            self._check_worker_health()
+            return
+        except (EOFError, OSError):  # pragma: no cover - torn queue
+            return
+        while True:
+            worker = self.workers.get(worker_id)
+            if worker is not None:
+                if tag == MSG_START:
+                    worker.current_key = body
+                    node = self.nodes.get(body)
+                    if node is not None and (shutdown or _settled_above(node)):
+                        self._cancel_current(worker)
+                elif tag == MSG_DONE:
+                    status, payload = body
+                    self._on_done(worker, status, payload, shutdown=shutdown)
+            try:
+                worker_id, tag, body = self.resultq.get_nowait()
+            except stdlib_queue.Empty:
+                return
+            except (EOFError, OSError):  # pragma: no cover
+                return
+
+    def _check_worker_health(self) -> None:
+        """A worker that died without a message loses its current cube."""
+        for worker in list(self.workers.values()):
+            if worker.proc.is_alive():
+                continue
+            self._on_done(worker, STATUS_CRASH, "worker died silently", shutdown=False)
+
+    def _shutdown_pool(self) -> None:
+        # Abort in-flight cubes, then send one sentinel per worker.
+        for worker in self.workers.values():
+            if worker.proc.is_alive():
+                try:
+                    os.kill(worker.proc.pid, signal.SIGTERM)
+                except (ProcessLookupError, OSError):  # pragma: no cover
+                    pass
+        for _ in self.workers:
+            try:
+                self.jobq.put_nowait(None)
+            except (stdlib_queue.Full, OSError):  # pragma: no cover
+                break
+        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+        # Absorb any final results (a worker may have finished a decisive
+        # cube just as we shut down — keep its verdict and fragment).
+        for worker in self.workers.values():
+            while worker.proc.is_alive() and time.monotonic() < deadline:
+                self._pump_results(shutdown=True, timeout=0.05)
+                worker.proc.join(timeout=0.05)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+        self._pump_results(shutdown=True, timeout=0.0)
+        for q in [self.jobq, self.resultq, self.outbox] + [
+            w.inbox for w in self.workers.values()
+        ]:
+            if q is None:
+                continue
+            q.cancel_join_thread()
+            q.close()
+        self.workers.clear()
+
+
+def run_cube(
+    formula: QBF,
+    jobs: int = 2,
+    leaf_decisions: int = DEFAULT_LEAF_DECISIONS,
+    certify: bool = False,
+    share: bool = True,
+    seed: int = 0,
+    engine: Optional[str] = None,
+    max_depth: int = 12,
+    initial_cubes: Optional[int] = None,
+    total_decisions: Optional[int] = None,
+    wall_timeout: Optional[float] = None,
+    interrupt=None,
+    workdir: Optional[str] = None,
+    max_shared_lits: int = MAX_SHARED_LITS,
+    max_escalations: int = 8,
+) -> CubeReport:
+    """Solve ``formula`` cube-and-conquer style across ``jobs`` processes.
+
+    Returns a :class:`CubeReport`; with ``certify=True`` its
+    ``certificate`` is the merged derivation and ``certificate_status`` the
+    independent checker's verdict against the original formula. The folded
+    verdict is deterministic for a given ``seed``; wall-clock, decision
+    totals, and sharing statistics are not (see DESIGN.md §12).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    started = time.monotonic()
+    if jobs == 1:
+        root = SplitNode(())
+        root.key = 0
+        job = CubeJob(
+            worker_id=0,
+            key=0,
+            path=(),
+            budget_decisions=total_decisions,
+            engine=engine,
+            certify=certify,
+        )
+        payload = solve_cube_job(job, formula, interrupt=interrupt)
+        root.outcome = Outcome[payload["outcome"]]
+        root.decisions = payload["decisions"]
+        if payload.get("fragment") is not None:
+            root.fragment = LeafFragment.from_payload(payload["fragment"])
+        report = CubeReport(
+            outcome=root.outcome,
+            seconds=time.monotonic() - started,
+            jobs=1,
+            leaves=1,
+            total_decisions=payload["decisions"],
+            workers_launched=1,
+            interrupted=bool(payload.get("interrupted")),
+            root=root,
+        )
+        if certify:
+            from repro.certify import check_certificate
+
+            report.certificate = merge_certificates(root, formula.prefix)
+            report.certificate_status = check_certificate(
+                formula, report.certificate.sink
+            ).status
+        return report
+    coordinator = _Coordinator(
+        formula,
+        jobs=jobs,
+        leaf_decisions=leaf_decisions,
+        certify=certify,
+        share=share,
+        seed=seed,
+        engine=engine,
+        max_depth=max_depth,
+        initial_cubes=initial_cubes,
+        wall_timeout=wall_timeout,
+        interrupt=interrupt,
+        workdir=workdir,
+        max_shared_lits=max_shared_lits,
+        max_escalations=max_escalations,
+    )
+    return coordinator.run()

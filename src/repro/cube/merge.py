@@ -1,0 +1,357 @@
+"""Merging per-cube proof fragments into one checkable certificate.
+
+Each worker certifies only its *leaf* formula ``Φ|A`` (the original matrix
+cofactored by its cube ``A``). The merge lifts every fragment back into the
+original variable space and stitches the lifted finals together along the
+split tree, producing a single derivation that
+:func:`repro.certify.check_certificate` accepts against the **original**
+formula.
+
+The lift (per leaf, assumptions ``A``)
+--------------------------------------
+
+Cofactoring deleted, from each surviving original clause ``O``, exactly the
+literals of ``¬A`` it contained — the clause's *carried* set, recorded by
+:func:`repro.cube.splitter.cofactor`. Re-attaching carried literals turns
+every leaf clause step into a step about the original clause:
+
+* ``inp``  — cites the original clause index; lits gain the carried set.
+* clause ``res``/``red`` — lits gain the union of the antecedents' carried
+  sets (weakening both antecedents of a resolution weakens the resolvent;
+  a reduction's dropped universals stay droppable because no survivor of a
+  split ever precedes (``≺``) a split variable in the original prefix).
+* ``cube0`` and every cube step — lits gain ``A`` uniformly: a model of the
+  cofactor together with the cube is a model of the original matrix, and
+  the existential reductions stay legal for the same no-survivor-precedes-
+  a-split-variable reason.
+
+A leaf's lifted final is therefore: FALSE — a clause ``⊆ ¬A``; TRUE — the
+cube ``A`` exactly.
+
+The fold (per split node)
+-------------------------
+
+At a node with path assumptions ``A`` splitting on ``v``:
+
+* existential ``v``, some branch TRUE: one existential ``red`` drops the
+  branch literal from the child cube ``A ∪ {±v}``, giving ``A``.
+* existential ``v``, both FALSE: resolve the child clauses on pivot ``v``
+  (skipping the resolution when a child clause does not even mention its
+  branch literal — it is already ``⊆ ¬A`` and used directly).
+* universal ``v``: the exact dual (clause ``red`` / cube ``res``).
+
+At the root ``A = ()``, so the fold ends in an empty constraint and the
+conclusion can honestly claim ``complete``. Any undecided or uncertified
+subtree degrades the merge to an *incomplete* certificate (honest partial
+proof) rather than an invalid one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.certify.store import (
+    CONCLUSION,
+    HEADER,
+    INITIAL_CUBE,
+    INPUT_CLAUSE,
+    KIND_CLAUSE,
+    KIND_CUBE,
+    REDUCTION,
+    RESOLUTION,
+    MemorySink,
+    header_step,
+)
+from repro.core.literals import EXISTS, var_of
+from repro.core.result import Outcome
+from repro.cube.splitter import ClauseMap, SplitNode, fold_outcomes
+
+
+class LeafFragment:
+    """One worker's raw certificate plus the context needed to lift it."""
+
+    __slots__ = ("assumptions", "clause_map", "steps")
+
+    def __init__(
+        self,
+        assumptions: Tuple[int, ...],
+        clause_map: ClauseMap,
+        steps: List[Dict[str, object]],
+    ):
+        self.assumptions = tuple(assumptions)
+        self.clause_map = tuple(clause_map)
+        self.steps = list(steps)
+
+    def conclusion(self) -> Optional[Dict[str, object]]:
+        for step in self.steps:
+            if step.get("type") == CONCLUSION:
+                return step
+        return None
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "assumptions": list(self.assumptions),
+            "clause_map": [[i, list(c)] for i, c in self.clause_map],
+            "steps": self.steps,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LeafFragment":
+        return cls(
+            tuple(payload["assumptions"]),
+            tuple((i, tuple(c)) for i, c in payload["clause_map"]),
+            list(payload["steps"]),
+        )
+
+
+class MergeReport:
+    """Outcome of one merge: the certificate plus honesty bookkeeping."""
+
+    def __init__(self, sink: MemorySink, outcome: Optional[Outcome], complete: bool,
+                 reason: Optional[str]):
+        self.sink = sink
+        self.outcome = outcome
+        self.complete = complete
+        self.reason = reason
+
+    @property
+    def steps(self) -> List[Dict[str, object]]:
+        return self.sink.steps
+
+
+def _canon(lits) -> Tuple[int, ...]:
+    return tuple(sorted(set(lits), key=lambda l: (var_of(l), l)))
+
+
+class _Merger:
+    def __init__(self, prefix):
+        self.prefix = prefix
+        self.sink = MemorySink()
+        self.sink.emit(header_step())
+        self._next_id = 1
+        self.incomplete_reason: Optional[str] = None
+
+    def _fresh(self) -> int:
+        out = self._next_id
+        self._next_id += 1
+        return out
+
+    def _give_up(self, reason: str) -> None:
+        if self.incomplete_reason is None:
+            self.incomplete_reason = reason
+
+    # -- the per-leaf lift --------------------------------------------------
+
+    def lift_leaf(self, node: SplitNode) -> Optional[Tuple[int, FrozenSet[int]]]:
+        frag = node.fragment
+        if not isinstance(frag, LeafFragment):
+            self._give_up("cube %r has no proof fragment" % (list(node.path),))
+            return None
+        conclusion = frag.conclusion()
+        if conclusion is None or conclusion.get("final") is None or not conclusion.get(
+            "complete", False
+        ):
+            self._give_up(
+                "fragment for cube %r is incomplete: %s"
+                % (list(node.path), (conclusion or {}).get("reason") or "no conclusion")
+            )
+            return None
+        assumed = frag.assumptions
+        idmap: Dict[int, int] = {}
+        carried_of: Dict[int, FrozenSet[int]] = {}
+        for step in frag.steps:
+            t = step.get("type")
+            if t in (HEADER, CONCLUSION):
+                continue
+            old_id = step["id"]
+            new_id = self._fresh()
+            idmap[old_id] = new_id
+            if t == INPUT_CLAUSE:
+                leaf_index = step["clause"]
+                try:
+                    orig_index, carried = frag.clause_map[leaf_index]
+                except (IndexError, TypeError):
+                    self._give_up(
+                        "fragment for cube %r cites unmapped clause %r"
+                        % (list(node.path), leaf_index)
+                    )
+                    return None
+                carried_of[new_id] = frozenset(carried)
+                self.sink.emit(
+                    {
+                        "type": INPUT_CLAUSE,
+                        "id": new_id,
+                        "clause": orig_index,
+                        "lits": list(_canon(tuple(step["lits"]) + tuple(carried))),
+                    }
+                )
+            elif t == INITIAL_CUBE:
+                self.sink.emit(
+                    {
+                        "type": INITIAL_CUBE,
+                        "id": new_id,
+                        "lits": list(_canon(tuple(step["lits"]) + assumed)),
+                    }
+                )
+            elif t in (RESOLUTION, REDUCTION):
+                is_cube = step.get("kind") == KIND_CUBE
+                try:
+                    ants = [idmap[a] for a in step["ant"]]
+                except KeyError:
+                    # e.g. a pre-bound retained constraint from the
+                    # incremental path: no derivation of it is on record.
+                    self._give_up(
+                        "fragment for cube %r references an unrecorded antecedent"
+                        % (list(node.path),)
+                    )
+                    return None
+                if is_cube:
+                    extra: Tuple[int, ...] = assumed
+                else:
+                    carried = frozenset()
+                    for a in ants:
+                        carried |= carried_of.get(a, frozenset())
+                    carried_of[new_id] = carried
+                    extra = tuple(carried)
+                out = {
+                    "type": t,
+                    "id": new_id,
+                    "kind": step["kind"],
+                    "ant": ants,
+                    "lits": list(_canon(tuple(step["lits"]) + extra)),
+                }
+                if t == RESOLUTION:
+                    out["pivot"] = step["pivot"]
+                self.sink.emit(out)
+            # unknown step types are dropped: the checker would reject them,
+            # and a fragment containing one is already suspect.
+        final_old = conclusion["final"]
+        final_new = idmap.get(final_old)
+        if final_new is None:
+            self._give_up(
+                "fragment for cube %r concludes with an unknown step"
+                % (list(node.path),)
+            )
+            return None
+        if conclusion.get("outcome") == "true":
+            return final_new, frozenset(assumed)
+        return final_new, carried_of.get(final_new, frozenset())
+
+    # -- the bottom-up fold -------------------------------------------------
+
+    def fold(self, node: SplitNode) -> Optional[Tuple[int, FrozenSet[int]]]:
+        outcome = fold_outcomes(node)
+        if outcome is None:
+            self._give_up("subtree at cube %r is undecided" % (list(node.path),))
+            return None
+        if node.is_leaf:
+            return self.lift_leaf(node)
+        v = node.var
+        is_cube = outcome is Outcome.TRUE
+        # The branch whose verdict alone settles the node, if any.
+        settles = (
+            Outcome.TRUE if node.quant is EXISTS else Outcome.FALSE
+        )
+        if outcome is settles:
+            # One winning branch; drop its branch literal by reduction.
+            for child, branch_lit in ((node.pos, v), (node.neg, -v)):
+                if fold_outcomes(child) is not outcome:
+                    continue
+                got = self.fold(child)
+                if got is None:
+                    continue
+                child_id, child_lits = got
+                want = branch_lit if is_cube else -branch_lit
+                if want not in child_lits:
+                    # Already free of the branch variable — use directly.
+                    return child_id, child_lits
+                lits = child_lits - {want}
+                new_id = self._fresh()
+                self.sink.emit(
+                    {
+                        "type": REDUCTION,
+                        "id": new_id,
+                        "kind": KIND_CUBE if is_cube else KIND_CLAUSE,
+                        "ant": [child_id],
+                        "lits": list(_canon(lits)),
+                    }
+                )
+                return new_id, frozenset(lits)
+            return None
+        # Both branches agree on the losing verdict; resolve on the pivot.
+        got_pos = self.fold(node.pos)
+        got_neg = self.fold(node.neg)
+        if got_pos is None or got_neg is None:
+            return None
+        pos_id, pos_lits = got_pos
+        neg_id, neg_lits = got_neg
+        # A TRUE fold carries cubes (pos branch cube contains +v), a FALSE
+        # fold carries clauses (pos branch clause contains -v).
+        pos_piv, neg_piv = (v, -v) if is_cube else (-v, v)
+        if pos_piv not in pos_lits:
+            return pos_id, pos_lits
+        if neg_piv not in neg_lits:
+            return neg_id, neg_lits
+        lits = (pos_lits - {pos_piv}) | (neg_lits - {neg_piv})
+        new_id = self._fresh()
+        self.sink.emit(
+            {
+                "type": RESOLUTION,
+                "id": new_id,
+                "kind": KIND_CUBE if is_cube else KIND_CLAUSE,
+                "ant": [pos_id, neg_id],
+                "pivot": v,
+                "lits": list(_canon(lits)),
+            }
+        )
+        return new_id, frozenset(lits)
+
+
+def merge_certificates(root: SplitNode, prefix=None) -> MergeReport:
+    """Fold the split tree's proof fragments into one certificate.
+
+    Returns a :class:`MergeReport` whose sink is checkable by
+    :func:`repro.certify.check_certificate` against the **original**
+    formula. An undecided tree concludes ``unknown``; a decided tree with
+    missing or incomplete fragments concludes honestly incomplete.
+    """
+    merger = _Merger(prefix)
+    outcome = fold_outcomes(root)
+    if outcome is None:
+        merger.sink.emit(
+            {
+                "type": CONCLUSION,
+                "outcome": "unknown",
+                "final": None,
+                "complete": False,
+                "reason": "split tree undecided",
+            }
+        )
+        return MergeReport(merger.sink, None, False, "split tree undecided")
+    got = merger.fold(root)
+    out_str = "true" if outcome is Outcome.TRUE else "false"
+    if got is None:
+        reason = merger.incomplete_reason or "no terminal derivation recorded"
+        merger.sink.emit(
+            {
+                "type": CONCLUSION,
+                "outcome": out_str,
+                "final": None,
+                "complete": False,
+                "reason": reason,
+            }
+        )
+        return MergeReport(merger.sink, outcome, False, reason)
+    final_id, final_lits = got
+    complete = not final_lits
+    reason = None if complete else "root constraint is not empty"
+    merger.sink.emit(
+        {
+            "type": CONCLUSION,
+            "outcome": out_str,
+            "final": final_id if complete else None,
+            "complete": complete,
+            "reason": reason,
+        }
+    )
+    return MergeReport(merger.sink, outcome, complete, reason)

@@ -1,0 +1,247 @@
+"""Cube splitting over the quantifier tree's branchable frontier.
+
+The paper's partial order exposes exactly the work-splitting recipe
+cube-and-conquer needs: a *top* variable (prefix level 1) has no ``≺``
+predecessor, so any linearization of the prefix may quantify it outermost,
+and the formula decomposes over its two cofactors —
+
+* existential top ``v``:  ``Φ ≡ Φ|v ∨ Φ|¬v`` (any satisfied branch wins),
+* universal top ``v``:    ``Φ ≡ Φ|v ∧ Φ|¬v`` (any falsified branch wins).
+
+Under a PO (tree) prefix the frontier is the union of every top block —
+potentially many independent branchables; under a TO (prenex) prefix
+``top_variables()`` degenerates to the outermost block, which *is* the
+prefix-order fallback the coordinator relies on. Either way the split is
+sound because restricting level-1 variables preserves the ``≺`` relation
+among the surviving variables: splicing an emptied top block out of the
+tree only promotes its subtrees, and the alternation count between any two
+surviving blocks is unchanged. That invariant is what makes the leaf
+solvers' universal/existential reductions — and therefore their proof
+fragments — valid in the original formula (see :mod:`repro.cube.merge`).
+
+:func:`cofactor` builds the leaf formula for a cube *with an index map back
+to the original matrix*: per surviving clause it records which original
+clause it came from and which literals were stripped (the ``carried`` set,
+all of them falsified by the cube). The worker solves the leaf; the
+certificate merge re-attaches the carried literals to lift the leaf's
+derivation into the original clause space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS, Quant, var_of
+from repro.core.result import Outcome
+
+#: clause map entry: (original clause index, literals stripped by the cube).
+ClauseMap = Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+
+class SplitNode:
+    """One node of the split tree: a cube (path of assumed literals).
+
+    Leaves are work items (``var is None``); internal nodes record the
+    variable they split on and its quantifier, which the coordinator's
+    verdict folding and the certificate merge both consult. Nodes are
+    mutable on purpose — dynamic re-splitting turns a leaf into an internal
+    node in place, and the coordinator stamps solve state onto leaves.
+    """
+
+    __slots__ = (
+        "path",
+        "var",
+        "quant",
+        "pos",
+        "neg",
+        "parent",
+        "outcome",
+        "interrupted",
+        "cancelled",
+        "attempts",
+        "budget",
+        "decisions",
+        "fragment",
+        "key",
+    )
+
+    def __init__(self, path: Tuple[int, ...], parent: Optional["SplitNode"] = None):
+        self.path = path
+        self.var: Optional[int] = None
+        self.quant: Optional[Quant] = None
+        self.pos: Optional["SplitNode"] = None
+        self.neg: Optional["SplitNode"] = None
+        self.parent = parent
+        #: leaf solve state, coordinator-owned.
+        self.outcome: Optional[Outcome] = None
+        self.interrupted = False
+        self.cancelled = False
+        self.attempts = 0
+        self.budget = 0
+        self.decisions = 0
+        #: the leaf's lifted proof ingredients (certify mode); see merge.py.
+        self.fragment: Optional[object] = None
+        #: stable integer id, stamped by the coordinator.
+        self.key = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.var is None
+
+    def leaves(self) -> List["SplitNode"]:
+        if self.is_leaf:
+            return [self]
+        return self.pos.leaves() + self.neg.leaves()
+
+    def depth(self) -> int:
+        return len(self.path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "leaf" if self.is_leaf else "split@%d" % self.var
+        return "SplitNode(%r, %s)" % (list(self.path), tag)
+
+
+def cofactor(formula: QBF, lits: Sequence[int]) -> Tuple[QBF, ClauseMap]:
+    """The iterated cofactor ``Φ|lits`` with an original-clause index map.
+
+    Mirrors :meth:`QBF.assign` applied once per literal, but in one pass
+    and keeping, for every surviving clause, its original index and the
+    (cube-falsified) literals that were stripped from it. A clause
+    containing any assumed literal is satisfied and dropped; a clause may
+    survive *empty* (every literal falsified), which makes the leaf
+    trivially false — the engine and the proof lift both handle that.
+    """
+    assumed = set(lits)
+    falsified = {-l for l in lits}
+    if assumed & falsified:
+        raise ValueError("contradictory cube %r" % (list(lits),))
+    new_clauses: List[Tuple[int, ...]] = []
+    index_map: List[Tuple[int, Tuple[int, ...]]] = []
+    for index, clause in enumerate(formula.clauses):
+        kept: List[int] = []
+        carried: List[int] = []
+        satisfied = False
+        for lit in clause.lits:
+            if lit in assumed:
+                satisfied = True
+                break
+            if lit in falsified:
+                carried.append(lit)
+            else:
+                kept.append(lit)
+        if satisfied:
+            continue
+        new_clauses.append(tuple(kept))
+        index_map.append((index, tuple(carried)))
+    prefix = formula.prefix.restrict([var_of(l) for l in lits])
+    return QBF(prefix, new_clauses), tuple(index_map)
+
+
+def rank_split_vars(formula: QBF, seed: int = 0) -> List[int]:
+    """Branchable (level-1) variables, best split candidate first.
+
+    Primary rank is total occurrence count in the matrix (splitting on a
+    busy variable simplifies the most clauses); ties are broken by a
+    seeded shuffle key so distinct seeds explore different — but each
+    individually reproducible — split trees. The seed changes *which* cube
+    a worker gets, never the folded verdict.
+    """
+    top = formula.prefix.top_variables()
+    if not top:
+        return []
+    counts = formula.occurrence_counts()
+    rng = random.Random(seed)
+    tie = {v: rng.random() for v in sorted(top)}
+    return sorted(
+        top, key=lambda v: (-(counts.get(v, 0) + counts.get(-v, 0)), tie[v], v)
+    )
+
+
+def choose_split_var(formula: QBF, seed: int = 0) -> Optional[int]:
+    """The next variable to split on, or None when nothing is branchable."""
+    ranked = rank_split_vars(formula, seed)
+    return ranked[0] if ranked else None
+
+
+def split_leaf(node: SplitNode, formula: QBF, seed: int = 0) -> bool:
+    """Turn ``node`` (a leaf) into a split over the best branchable var.
+
+    ``formula`` must be the cofactor of the original instance by
+    ``node.path``. Returns False when the cofactor has no branchable
+    variable left (the leaf must be solved outright, or escalated).
+    """
+    if not node.is_leaf:
+        raise ValueError("split_leaf on an internal node")
+    var = choose_split_var(formula, seed)
+    if var is None:
+        return False
+    node.var = var
+    node.quant = formula.prefix.quant(var)
+    node.pos = SplitNode(node.path + (var,), parent=node)
+    node.neg = SplitNode(node.path + (-var,), parent=node)
+    # The node is no longer a work item; its solve state is now the fold
+    # of its children.
+    node.outcome = None
+    node.fragment = None
+    return True
+
+
+def build_split(
+    formula: QBF, target_leaves: int, seed: int = 0, max_depth: int = 16
+) -> SplitNode:
+    """Grow an initial split tree with at least ``target_leaves`` leaves.
+
+    Expands breadth-first — widest leaf first by clause count of its
+    cofactor — so the tree stays balanced; stops early when no leaf has a
+    branchable variable left or every leaf hit ``max_depth``.
+    """
+    root = SplitNode(())
+    if target_leaves <= 1:
+        return root
+    frontier: List[Tuple[SplitNode, QBF]] = [(root, formula)]
+    while len(frontier) < target_leaves:
+        # Widest subproblem first; ties by path for determinism.
+        frontier.sort(key=lambda item: (-len(item[1].clauses), item[0].path))
+        expanded = False
+        for i, (node, sub) in enumerate(frontier):
+            if node.depth() >= max_depth:
+                continue
+            if not split_leaf(node, sub, seed):
+                continue
+            pos_sub, _ = cofactor(formula, node.pos.path)
+            neg_sub, _ = cofactor(formula, node.neg.path)
+            frontier[i : i + 1] = [(node.pos, pos_sub), (node.neg, neg_sub)]
+            expanded = True
+            break
+        if not expanded:
+            break
+    return root
+
+
+def fold_outcomes(node: SplitNode) -> Optional[Outcome]:
+    """The verdict of ``node``'s subtree, from whatever leaves are decided.
+
+    Existential split: any TRUE branch decides TRUE, both FALSE decide
+    FALSE. Universal split: the dual. UNKNOWN leaves stay undecided
+    (``None``) unless the decided sibling already settles the node — which
+    is exactly what lets the coordinator cancel dead siblings early.
+    """
+    if node.is_leaf:
+        out = node.outcome
+        if out is Outcome.UNKNOWN:
+            return None
+        return out
+    pos = fold_outcomes(node.pos)
+    neg = fold_outcomes(node.neg)
+    win, lose = (
+        (Outcome.TRUE, Outcome.FALSE)
+        if node.quant is EXISTS
+        else (Outcome.FALSE, Outcome.TRUE)
+    )
+    if pos is win or neg is win:
+        return win
+    if pos is lose and neg is lose:
+        return lose
+    return None

@@ -405,6 +405,14 @@ def _worker_main(
     """
     flag = global_flag()
     flag.clear()  # fork inherits the parent's flag state; start clean
+    try:
+        # A forked child inherits the parent's signal wakeup fd (asyncio
+        # event loops set one). Left in place, *this worker's* SIGTERM
+        # would be written into the parent loop's self-pipe and read back
+        # as a shutdown of the parent — reset it before installing ours.
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     signal.signal(signal.SIGTERM, flag.set)
     try:
         if faults is not None:

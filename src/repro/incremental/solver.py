@@ -99,9 +99,21 @@ class IncrementalSolver:
     of the retained set, the conservative direction.
     """
 
-    def __init__(self, config: Optional[SolverConfig] = None, certify: bool = False):
+    def __init__(
+        self,
+        config: Optional[SolverConfig] = None,
+        certify: bool = False,
+        retain: bool = True,
+    ):
         self.config = config or SolverConfig()
         self.certify = certify
+        #: ``retain=False`` turns off cross-solve constraint retention and
+        #: with it the proof-closure bookkeeping every solve otherwise pays
+        #: (a ProofLogger feeding a ClosureSink). Callers that use this
+        #: solver purely for its assumption scopes — one-shot cube jobs,
+        #: throwaway probes — get a measurably leaner solve; ``certify=True``
+        #: still logs, since the certificate needs the derivation.
+        self.retain = retain
         self._formula: Optional[QBF] = None
         self._scopes: List[List[int]] = []
         self._retained: List[Retained] = []
@@ -128,15 +140,19 @@ class IncrementalSolver:
         if self._formula is None:
             raise ValueError("push() before load()")
         prefix = self._formula.prefix
+        # top_variables() = bound, outermost (nothing precedes them); a
+        # single membership probe replaces the per-literal O(vars) scans.
+        top = set(prefix.top_variables())
+        bound = set(prefix.variables)
         active = {abs(l) for scope in self._scopes for l in scope}
         scope: List[int] = []
         for lit in assumptions:
             var = abs(lit)
-            if var not in set(prefix.variables):
+            if var not in bound:
                 raise ValueError("assumption variable %d is not bound" % var)
             if prefix.quant(var) is not EXISTS:
                 raise ValueError("assumption variable %d is universal" % var)
-            if any(prefix.prec(u, var) for u in prefix.variables):
+            if var not in top:
                 raise ValueError(
                     "assumption variable %d is not in an outermost block" % var
                 )
@@ -239,16 +255,29 @@ class IncrementalSolver:
         interrupt: Optional[object] = None,
         checkpoint_to: Optional[str] = None,
         resume_from: Optional[object] = None,
+        exchange: Optional[object] = None,
     ) -> SolveResult:
-        """Solve the current effective formula, reusing what can be reused."""
-        formula = self.effective_formula()
-        inner = MemorySink() if self.certify else None
-        sink = ClosureSink(inner)
-        logger = ProofLogger(sink)
-        config = certifying_config(self.config) if self.certify else self.config
-        engine = QdpllSolver(formula, config, proof=logger, interrupt=interrupt)
+        """Solve the current effective formula, reusing what can be reused.
 
-        survivors = self._survivors(formula)
+        ``exchange`` is the cube-and-conquer constraint-sharing hook (see
+        :mod:`repro.cube.sharing`); constraints imported through it carry no
+        proof provenance, so they are never retained across ``load()``s —
+        the harvest only keeps constraints whose axiom closure is on record.
+        """
+        formula = self.effective_formula()
+        retaining = self.retain or self.certify
+        if retaining:
+            inner = MemorySink() if self.certify else None
+            sink = ClosureSink(inner)
+            logger = ProofLogger(sink)
+        else:
+            inner = sink = logger = None
+        config = certifying_config(self.config) if self.certify else self.config
+        engine = QdpllSolver(
+            formula, config, proof=logger, interrupt=interrupt, exchange=exchange
+        )
+
+        survivors = self._survivors(formula) if retaining else []
         clauses = cubes = 0
         pre_bound = -1
         for r in survivors:
@@ -273,7 +302,7 @@ class IncrementalSolver:
 
         result = engine.solve(resume_from=resume_from, checkpoint_to=checkpoint_to)
 
-        self._retained = self._harvest(engine, logger, sink)
+        self._retained = self._harvest(engine, logger, sink) if retaining else []
         self._last_prefix = formula.prefix
         self._last_formula = formula
         self.last_certificate = inner

@@ -7,9 +7,15 @@ parallel.run_tasks` worker shards — inheriting its fault isolation, wall
 timeouts and checkpoint-based preemption — while SMV diameter-bound
 requests run in-process on per-family :class:`repro.incremental.
 IncrementalSolver` instances so learned constraints carry across bounds.
-Verdicts (and certificate statuses) are cached under the existing
-:meth:`repro.evalx.parallel.Task.key` fingerprint and persisted through
-:class:`repro.evalx.parallel.ResultsLog`.
+``cube-solve`` requests fan one instance out across a cube-and-conquer
+worker pool (:func:`repro.cube.run_cube`). Verdicts (and certificate
+statuses) are cached under the existing :meth:`repro.evalx.parallel.
+Task.key` fingerprint and persisted through :class:`repro.evalx.parallel.
+ResultsLog`. Every solve-lane request runs under a per-request wall-clock
+``deadline`` (default :data:`repro.serve.protocol.
+DEFAULT_DEADLINE_SECONDS`), so an unsolvable request comes back as a
+structured error instead of a hung connection; oversized formulas are
+rejected at the protocol layer.
 """
 
 from repro.serve.client import request, wait_ready

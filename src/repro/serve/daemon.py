@@ -32,6 +32,7 @@ import json
 import os
 import signal
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Tuple
 
@@ -48,16 +49,25 @@ from repro.evalx.runner import Budget, Measurement
 from repro.incremental import IncrementalSolver
 from repro.robustness.interrupt import InterruptFlag, global_flag
 from repro.serve.protocol import (
+    MAX_CUBE_JOBS,
     PROTOCOL_VERSION,
     ProtocolError,
+    check_formula_shape,
+    check_formula_size,
     error_response,
     parse_budget,
+    parse_deadline,
     validate_smv_request,
 )
 from repro.smv.incremental import DiameterFamily
 
 #: solver label recorded on in-process incremental smv runs.
 SMV_SOLVER_LABEL = "INC(stable)"
+
+#: asyncio stream limit per request line: the formula byte cap plus JSON
+#: framing slack, so an oversized-formula request is still *readable* and
+#: gets the structured protocol error instead of a torn connection.
+_STREAM_LIMIT = 2 * 4_000_000
 
 
 class _Family:
@@ -119,6 +129,15 @@ class ServeDaemon:
             "status": record.status,
             "protocol": PROTOCOL_VERSION,
         }
+        if not record.ok:
+            # Structured failure (deadline exceeded, worker crash): the
+            # client gets a reason, never a silently hung connection. A
+            # partial measurement (checkpoint flush) may still ride along.
+            out["error"] = (
+                "solve exceeded its deadline and was killed"
+                if record.status == "hard-timeout"
+                else "solve failed: %s" % record.status
+            )
         if m is not None:
             out.update(
                 outcome=m.outcome.value,
@@ -132,11 +151,12 @@ class ServeDaemon:
 
     # -- handlers ----------------------------------------------------------
 
-    async def _handle_solve(self, req: Dict[str, object]) -> Dict[str, object]:
+    def _parse_formula(self, req: Dict[str, object]):
         text = req.get("formula")
         fmt = req.get("format", "qdimacs")
         if not isinstance(text, str):
             raise ProtocolError("solve needs a string 'formula'")
+        check_formula_size(text)
         if fmt == "qdimacs":
             from repro.io import qdimacs
 
@@ -147,6 +167,19 @@ class ServeDaemon:
             formula = qtree.loads(text)
         else:
             raise ProtocolError("unknown formula format %r" % (fmt,))
+        check_formula_shape(formula)
+        return formula
+
+    def _effective_deadline(self, req: Dict[str, object]) -> float:
+        """Per-request deadline, further capped by the daemon's setting."""
+        deadline = parse_deadline(req)
+        if self.wall_timeout is not None:
+            deadline = min(deadline, self.wall_timeout)
+        return deadline
+
+    async def _handle_solve(self, req: Dict[str, object]) -> Dict[str, object]:
+        formula = self._parse_formula(req)
+        deadline = self._effective_deadline(req)
         mode = req.get("mode", "po")
         if mode not in ("po", "to"):
             raise ProtocolError("mode must be 'po' or 'to'")
@@ -175,7 +208,7 @@ class ServeDaemon:
                 lambda: run_tasks(
                     [task],
                     jobs=2,
-                    wall_timeout=self.wall_timeout,
+                    wall_timeout=deadline,
                     checkpoint_dir=self.checkpoint_dir,
                 ),
             )
@@ -194,6 +227,12 @@ class ServeDaemon:
 
         model = model_by_name(family_name, size)
         budget = parse_budget(req.get("budget"))
+        # In-process lane: the deadline is enforced cooperatively, as a
+        # wall-seconds budget the engine polls (no worker to kill here).
+        deadline = self._effective_deadline(req)
+        deadline_is_binding = budget.seconds is None or deadline <= budget.seconds
+        seconds = deadline if budget.seconds is None else min(budget.seconds, deadline)
+        budget = Budget(decisions=budget.decisions, seconds=seconds)
         fam = self._families.get(model.name)
         if fam is None:
             fam = _Family(model)
@@ -237,6 +276,26 @@ class ServeDaemon:
             interrupted=result.interrupted,
         )
         retained = fam.solver.last_retained_clauses + fam.solver.last_retained_cubes
+        if (
+            result.outcome is Outcome.UNKNOWN
+            and not result.interrupted
+            and deadline_is_binding
+            and result.seconds >= seconds
+        ):
+            # The per-request wall clock — not the caller's own budget —
+            # ran out: report it as a structured failure, not a soft UNKNOWN.
+            return {
+                "ok": False,
+                "cached": False,
+                "status": "deadline",
+                "error": "smv solve did not settle within its %.1fs deadline"
+                % deadline,
+                "outcome": result.outcome.value,
+                "decisions": result.stats.decisions,
+                "seconds": result.seconds,
+                "interrupted": False,
+                "protocol": PROTOCOL_VERSION,
+            }
         if result.outcome is not Outcome.UNKNOWN:
             await self._cache_put(
                 Record(
@@ -258,6 +317,69 @@ class ServeDaemon:
             "interrupted": result.interrupted,
             "protocol": PROTOCOL_VERSION,
         }
+
+    async def _handle_cube(self, req: Dict[str, object]) -> Dict[str, object]:
+        """Cube-and-conquer solve across worker processes (``cube-solve``)."""
+        from repro.cube import run_cube
+
+        formula = self._parse_formula(req)
+        deadline = self._effective_deadline(req)
+        jobs = req.get("jobs", 2)
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+            raise ProtocolError("cube-solve jobs must be a positive integer")
+        if jobs > MAX_CUBE_JOBS:
+            raise ProtocolError(
+                "cube-solve jobs must be at most %d" % MAX_CUBE_JOBS
+            )
+        seed = req.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ProtocolError("cube-solve seed must be an integer")
+        certify = bool(req.get("certify", False))
+        share = bool(req.get("share", True))
+        engine = req.get("engine")
+
+        loop = asyncio.get_running_loop()
+        async with self._slots:
+            report = await loop.run_in_executor(
+                self._pool,
+                lambda: run_cube(
+                    formula,
+                    jobs=jobs,
+                    certify=certify,
+                    share=share,
+                    seed=seed,
+                    engine=engine,
+                    wall_timeout=deadline,
+                    interrupt=self._interrupt,
+                ),
+            )
+        self.stats["solves"] += 1
+        out: Dict[str, object] = {
+            "ok": True,
+            "cached": False,
+            "outcome": report.outcome.value,
+            "decisions": report.total_decisions,
+            "seconds": report.seconds,
+            "interrupted": report.interrupted,
+            "jobs": report.jobs,
+            "leaves": report.leaves,
+            "resplits": report.resplits,
+            "escalations": report.escalations,
+            "cancelled": report.cancelled,
+            "share": report.share,
+            "protocol": PROTOCOL_VERSION,
+        }
+        if report.outcome is Outcome.UNKNOWN and not report.interrupted:
+            # Deadline ran out before the fold settled: structured failure.
+            out["ok"] = False
+            out["status"] = "deadline"
+            out["error"] = (
+                "cube-solve did not settle within its %.1fs deadline" % deadline
+            )
+        if certify:
+            out["certificate_status"] = report.certificate_status
+            out["certificate_complete"] = report.certificate.complete
+        return out
 
     async def dispatch(self, req: Dict[str, object]) -> Dict[str, object]:
         kind = req.get("kind", "solve")
@@ -282,6 +404,8 @@ class ServeDaemon:
             return await self._handle_solve(req)
         if kind == "smv-diameter":
             return await self._handle_smv(req)
+        if kind == "cube-solve":
+            return await self._handle_cube(req)
         raise ProtocolError("unknown request kind %r" % (kind,))
 
     # -- server loop -------------------------------------------------------
@@ -292,6 +416,18 @@ class ServeDaemon:
                 try:
                     line = await reader.readline()
                 except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # Request line beyond the stream limit: report the size
+                    # cap as a structured error, then drop the connection
+                    # (the rest of the oversized line is unrecoverable).
+                    self.stats["errors"] += 1
+                    writer.write(
+                        (json.dumps(error_response(
+                            "request too large: a single request line must "
+                            "stay under %d bytes" % _STREAM_LIMIT)) + "\n"
+                         ).encode("utf-8"))
+                    await writer.drain()
                     break
                 if not line:
                     break
@@ -306,6 +442,16 @@ class ServeDaemon:
                 except (ProtocolError, ValueError) as exc:
                     self.stats["errors"] += 1
                     response = error_response(str(exc), request_id)
+                except Exception as exc:
+                    # Handler bug or resource failure: the client still gets
+                    # a structured error, never a silently dropped
+                    # connection; the traceback goes to the daemon's log.
+                    self.stats["errors"] += 1
+                    traceback.print_exc()
+                    response = error_response(
+                        "internal error: %s: %s" % (type(exc).__name__, exc),
+                        request_id,
+                    )
                 if request_id is not None and "id" not in response:
                     response["id"] = request_id
                 writer.write((json.dumps(response) + "\n").encode("utf-8"))
@@ -319,7 +465,7 @@ class ServeDaemon:
 
     async def run(self) -> None:
         server = await asyncio.start_unix_server(
-            self._handle_conn, path=self.socket_path
+            self._handle_conn, path=self.socket_path, limit=_STREAM_LIMIT
         )
         try:
             async with server:

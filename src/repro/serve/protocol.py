@@ -16,6 +16,23 @@ one JSON response line. ``kind`` selects the handler:
     one bound of a model family's diameter sweep: ``family``, ``size``,
     ``n``, optional ``budget``. Solved in-process on the family's
     persistent incremental solver.
+``cube-solve``
+    a cube-and-conquer solve of an inlined formula across worker
+    processes: ``formula`` + ``format`` like ``solve``, plus optional
+    ``jobs`` (default 2, capped at :data:`MAX_CUBE_JOBS`), ``certify``,
+    ``share``, ``seed``. Responses add the coordinator's work accounting
+    (``leaves``, ``resplits``, ``escalations``, ``share``) and, when
+    certifying, ``certificate_status``.
+
+Every solve-lane request (``solve``, ``cube-solve``, ``smv-diameter``) may
+carry a ``deadline`` — a positive number of wall-clock seconds for *this
+request*. A request that exceeds it returns a structured
+``{"ok": false, "status": ...}`` response instead of leaving the client
+hanging until its socket times out; requests that don't set one get
+:data:`DEFAULT_DEADLINE_SECONDS` (the daemon's ``--wall-timeout`` further
+caps both). Inlined formulas are size-capped (:data:`MAX_FORMULA_BYTES`,
+:data:`MAX_CLAUSES`, :data:`MAX_VARS`); an oversized request is a
+structured protocol error, never an attempted solve.
 
 Responses always carry ``ok``; successful solve responses add ``outcome``,
 ``decisions``, ``seconds``, ``cached`` (verdict served from the fingerprint
@@ -27,12 +44,26 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.core.formula import QBF
 from repro.evalx.runner import Budget
 
 #: bumped when a response field changes meaning; echoed on every response.
 PROTOCOL_VERSION = 1
 
-KINDS = ("ping", "stats", "solve", "smv-diameter", "shutdown")
+KINDS = ("ping", "stats", "solve", "smv-diameter", "cube-solve", "shutdown")
+
+#: wall-clock cap applied to solve-lane requests that set no ``deadline``;
+#: guarantees every request eventually gets a structured response.
+DEFAULT_DEADLINE_SECONDS = 300.0
+
+#: hard caps on inlined formulas — the daemon is a solving service, not a
+#: bulk store; anything bigger should go through the batch harness.
+MAX_FORMULA_BYTES = 4_000_000
+MAX_CLAUSES = 100_000
+MAX_VARS = 50_000
+
+#: cap on ``cube-solve`` worker processes per request.
+MAX_CUBE_JOBS = 8
 
 
 class ProtocolError(ValueError):
@@ -51,6 +82,41 @@ def parse_budget(payload: Optional[Dict[str, object]]) -> Budget:
     if seconds is not None and not isinstance(seconds, (int, float)):
         raise ProtocolError("budget.seconds must be a number")
     return Budget(decisions=decisions, seconds=seconds)
+
+
+def parse_deadline(req: Dict[str, object]) -> float:
+    """The request's effective per-request wall-clock cap, in seconds."""
+    deadline = req.get("deadline")
+    if deadline is None:
+        return DEFAULT_DEADLINE_SECONDS
+    if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+        raise ProtocolError("deadline must be a positive number of seconds")
+    if deadline <= 0:
+        raise ProtocolError("deadline must be a positive number of seconds")
+    return float(deadline)
+
+
+def check_formula_size(text: str) -> None:
+    """Reject oversized formula *text* before it is even parsed."""
+    if len(text) > MAX_FORMULA_BYTES:
+        raise ProtocolError(
+            "formula too large: %d bytes exceeds the %d-byte cap"
+            % (len(text), MAX_FORMULA_BYTES)
+        )
+
+
+def check_formula_shape(formula: QBF) -> None:
+    """Reject parsed formulas beyond the daemon's solving caps."""
+    if formula.num_clauses > MAX_CLAUSES:
+        raise ProtocolError(
+            "formula too large: %d clauses exceeds the %d-clause cap"
+            % (formula.num_clauses, MAX_CLAUSES)
+        )
+    if formula.num_vars > MAX_VARS:
+        raise ProtocolError(
+            "formula too large: %d variables exceeds the %d-variable cap"
+            % (formula.num_vars, MAX_VARS)
+        )
 
 
 def error_response(message: str, request_id: Optional[object] = None) -> Dict[str, object]:

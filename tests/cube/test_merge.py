@@ -1,0 +1,100 @@
+"""Certificate-merge tests: lifted fragments fold into a checkable proof."""
+
+import random
+
+from repro.certify import MemorySink, ProofLogger, certifying_config, check_certificate
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS, FORALL
+from repro.core.prefix import Prefix
+from repro.core.result import Outcome
+from repro.core.solver import SolverConfig, solve
+from repro.cube.merge import LeafFragment, merge_certificates
+from repro.cube.splitter import build_split, cofactor, fold_outcomes
+from repro.generators.random_qbf import random_qbf
+
+
+def _solve_leaf_certified(formula, leaf):
+    sub, cmap = cofactor(formula, leaf.path)
+    sink = MemorySink()
+    result = solve(sub, certifying_config(SolverConfig()), proof=ProofLogger(sink))
+    leaf.outcome = result.outcome
+    leaf.fragment = LeafFragment(leaf.path, cmap, sink.steps)
+    return result
+
+
+def _merge_and_check(formula, target_leaves=4, seed=0):
+    root = build_split(formula, target_leaves=target_leaves, seed=seed)
+    for leaf in root.leaves():
+        _solve_leaf_certified(formula, leaf)
+    report = merge_certificates(root, formula.prefix)
+    return root, report, check_certificate(formula, report.sink)
+
+
+def test_merged_certificate_verifies_false_instance():
+    # ∀ y1 ∃ x2 . (y1 ∨ x2)(¬y1 ∨ ¬x2)(y1 ∨ ¬x2)(¬y1 ∨ x2) — FALSE
+    prefix = Prefix.linear([(FORALL, (1,)), (EXISTS, (2,))])
+    formula = QBF(prefix, [(1, 2), (-1, -2), (1, -2), (-1, 2)])
+    root, report, check = _merge_and_check(formula, target_leaves=2)
+    assert fold_outcomes(root) is Outcome.FALSE
+    assert report.complete
+    assert check.status == "verified" and check.outcome == "false"
+
+
+def test_merged_certificate_verifies_true_instance():
+    # ∃ x1 ∀ y2 ∃ z3 . (x1 ∨ z3)(¬y2 ∨ z3 ∨ ¬x1)(y2 ∨ ¬z3 ∨ x1) — TRUE
+    prefix = Prefix.linear([(EXISTS, (1,)), (FORALL, (2,)), (EXISTS, (3,))])
+    formula = QBF(prefix, [(1, 3), (-2, 3, -1), (2, -3, 1)])
+    root, report, check = _merge_and_check(formula, target_leaves=2)
+    assert fold_outcomes(root) is Outcome.TRUE
+    assert report.complete
+    assert check.status == "verified" and check.outcome == "true"
+
+
+def test_merged_certificates_verify_on_random_instances():
+    rng = random.Random(23)
+    verified = 0
+    for _ in range(15):
+        formula = random_qbf(rng)
+        root, report, check = _merge_and_check(formula, target_leaves=4, seed=2)
+        if fold_outcomes(root) is None:
+            continue
+        assert report.complete, report.reason
+        assert check.status == "verified", check.error
+        assert check.outcome == fold_outcomes(root).value
+        verified += 1
+    assert verified >= 10
+
+
+def test_missing_fragment_degrades_to_incomplete_not_invalid():
+    prefix = Prefix.linear([(FORALL, (1,)), (EXISTS, (2,))])
+    formula = QBF(prefix, [(1, 2), (-1, -2), (1, -2), (-1, 2)])
+    root = build_split(formula, target_leaves=2)
+    leaves = root.leaves()
+    for leaf in leaves:
+        _solve_leaf_certified(formula, leaf)
+    for leaf in leaves:  # lost fragments (e.g. worker crash + retry)
+        leaf.fragment = None
+    report = merge_certificates(root, formula.prefix)
+    assert report.outcome is Outcome.FALSE
+    assert not report.complete and "no proof fragment" in report.reason
+    check = check_certificate(formula, report.sink)
+    # honest partial proof: the checker accepts the steps but the
+    # conclusion claims no completeness
+    assert check.status != "verified"
+
+
+def test_undecided_tree_concludes_unknown():
+    prefix = Prefix.linear([(FORALL, (1,)), (EXISTS, (2,))])
+    formula = QBF(prefix, [(1, 2), (-1, -2), (1, -2), (-1, 2)])
+    root = build_split(formula, target_leaves=2)
+    report = merge_certificates(root, formula.prefix)
+    assert report.outcome is None and not report.complete
+    assert report.steps[-1]["outcome"] == "unknown"
+
+
+def test_fragment_payload_roundtrip():
+    frag = LeafFragment((1, -2), ((0, (-1,)), (2, ())), [{"type": "inp", "id": 1}])
+    back = LeafFragment.from_payload(frag.to_payload())
+    assert back.assumptions == frag.assumptions
+    assert back.clause_map == frag.clause_map
+    assert back.steps == frag.steps
