@@ -1,0 +1,225 @@
+"""Iterative expansion-based solving — the oracle's semantics, budgeted.
+
+The semantics oracle (:mod:`repro.core.expansion`) evaluates a QBF by
+recursive quantifier expansion: cofactor on a top variable, "or"-combine for
+existentials, "and"-combine for universals. It is deliberately minimal — a
+Python-recursion-bound test oracle with a hard variable cap.
+
+This module is the *engine-grade* counterpart: the same expansion semantics
+run non-recursively over an explicit frame stack (a worklist of pending
+cofactors), so deep prefixes cannot blow the interpreter stack, plus the two
+cheap inferences the paper justifies for arbitrary prefixes:
+
+* **Lemma 4** — a clause whose existential part is empty and whose
+  universal part cannot help (a *contradictory* clause) falsifies the
+  formula immediately;
+* **Lemma 5** — a *unit* existential literal (all universal companions
+  ``|l_i| ⊀ |l|``) may be assigned without branching; counted as a
+  propagation, exactly like the search engines count theirs.
+
+Expansion-variable choice respects the non-prenex partial order ``≺`` for
+free: candidates come from ``prefix.top_variables()``, the ≺-minimal
+variables, so no variable is ever expanded before one it depends on.
+Among the tops the engine prefers the variable with the most matrix
+occurrences (expanding it shrinks both cofactors fastest), tie-broken by
+variable id for determinism.
+
+Capabilities are honest: no proof logging (expansion derives no resolution
+steps to log) and no checkpoint/resume in v1 (the frame stack holds whole
+cofactor formulas; snapshotting it is future work — see DESIGN.md §13).
+Budgets and cooperative interruption work exactly as in search: branches
+count as decisions against ``max_decisions``, ``max_seconds`` and the
+interrupt flag are polled at every branch, and exhaustion reports
+``Outcome.UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.constraints import is_contradictory, unit_literal
+from repro.core.engine.config import SolverConfig
+from repro.core.formula import QBF
+from repro.core.literals import EXISTS
+from repro.core.paradigm import Capabilities, Solver, poll_interrupt, register_paradigm
+from repro.core.result import Outcome, SolveResult, SolverStats
+
+__all__ = ["ExpansionSolver", "expand_solve"]
+
+#: memo key: syntactic identity, same as the oracle's.
+_Key = Tuple[object, FrozenSet[Tuple[int, ...]]]
+
+
+class _Frame:
+    """One pending expansion: a subformula whose value is being computed.
+
+    ``phase`` walks 0 → 1 → 2: not yet examined, waiting on the positive
+    cofactor, waiting on the negative cofactor.
+    """
+
+    __slots__ = ("formula", "key", "var", "exists", "phase", "left")
+
+    def __init__(self, formula: QBF):
+        self.formula = formula
+        self.key: Optional[_Key] = None
+        self.var = 0
+        self.exists = False
+        self.phase = 0
+        self.left = False
+
+
+class _Stop(Exception):
+    """Internal: budget exhausted or interrupt flag set mid-expansion."""
+
+    def __init__(self, interrupted: bool):
+        super().__init__("expansion stopped")
+        self.interrupted = interrupted
+
+
+def _pick_variable(formula: QBF) -> int:
+    """Most-occurring top variable, id-tie-broken — ≺-respecting by source.
+
+    ``top_variables()`` returns exactly the ≺-minimal variables of the
+    (possibly partially ordered) prefix, so whichever we pick, nothing it
+    depends on is still quantified inside — the non-prenex soundness
+    condition for expansion.
+    """
+    tops = formula.prefix.top_variables()
+    if len(tops) == 1:
+        return tops[0]
+    occurrences: Dict[int, int] = {v: 0 for v in tops}
+    for clause in formula.clauses:
+        for lit in clause.lits:
+            var = abs(lit)
+            if var in occurrences:
+                occurrences[var] += 1
+    return min(tops, key=lambda v: (-occurrences[v], v))
+
+
+class ExpansionSolver(Solver):
+    """Non-recursive expansion engine behind the :class:`Solver` seam."""
+
+    name = "expansion"
+    capabilities = Capabilities(proof=False, checkpoint=False, exchange=False, interrupt=True)
+
+    def load(self, formula: QBF) -> None:
+        self.formula = formula
+
+    def _solve_loaded(
+        self,
+        proof: Optional[object],
+        interrupt: Optional[object],
+        resume_from: Optional[object],
+        checkpoint_to: Optional[str],
+        exchange: Optional[object],
+    ) -> SolveResult:
+        config = self.config
+        stats = SolverStats()
+        deadline = None
+        if config.max_seconds is not None:
+            deadline = time.monotonic() + config.max_seconds
+        start = time.perf_counter()
+        try:
+            value = self._expand(self.formula, config, stats, interrupt, deadline)
+            outcome = Outcome.TRUE if value else Outcome.FALSE
+            interrupted = False
+        except _Stop as stop:
+            outcome = Outcome.UNKNOWN
+            interrupted = stop.interrupted
+        return SolveResult(
+            outcome=outcome,
+            stats=stats,
+            seconds=time.perf_counter() - start,
+            interrupted=interrupted,
+        )
+
+    # -- the worklist ----------------------------------------------------------
+
+    @staticmethod
+    def _simplify(formula: QBF, stats: SolverStats) -> Tuple[QBF, Optional[bool]]:
+        """Exhaust Lemma 4/5: return the reduced formula or a decided value."""
+        while True:
+            clauses = formula.clauses
+            if not clauses:
+                return formula, True
+            prefix = formula.prefix
+            lit = None
+            for clause in clauses:
+                lits = clause.lits
+                if not lits or is_contradictory(lits, prefix):
+                    return formula, False
+                if lit is None:
+                    lit = unit_literal(lits, prefix)
+            if lit is None:
+                return formula, None
+            stats.propagations += 1
+            formula = formula.assign(lit)
+
+    def _expand(
+        self,
+        root: QBF,
+        config: SolverConfig,
+        stats: SolverStats,
+        interrupt: Optional[object],
+        deadline: Optional[float],
+    ) -> bool:
+        cache: Dict[_Key, bool] = {}
+        frames = [_Frame(root)]
+        ret = False
+        while frames:
+            frame = frames[-1]
+            if frame.phase == 0:
+                formula, decided = self._simplify(frame.formula, stats)
+                if decided is not None:
+                    ret = decided
+                    frames.pop()
+                    continue
+                frame.formula = formula
+                frame.key = (formula.prefix, frozenset(c.lits for c in formula.clauses))
+                hit = cache.get(frame.key)
+                if hit is not None:
+                    ret = hit
+                    frames.pop()
+                    continue
+                if poll_interrupt(interrupt):
+                    raise _Stop(interrupted=True)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise _Stop(interrupted=False)
+                if config.max_decisions is not None and stats.decisions >= config.max_decisions:
+                    raise _Stop(interrupted=False)
+                frame.var = _pick_variable(formula)
+                frame.exists = formula.prefix.quant(frame.var) is EXISTS
+                frame.phase = 1
+                stats.decisions += 1
+                if len(frames) > stats.max_trail:
+                    stats.max_trail = len(frames)
+                frames.append(_Frame(formula.assign(frame.var)))
+            elif frame.phase == 1:
+                # positive cofactor just returned `ret`; short-circuit like
+                # the oracle's `or`/`and` — an existential needs one true
+                # branch, a universal one false branch.
+                if ret if frame.exists else not ret:
+                    cache[frame.key] = ret
+                    frames.pop()
+                    continue
+                frame.left = ret
+                frame.phase = 2
+                stats.decisions += 1
+                frames.append(_Frame(frame.formula.assign(-frame.var)))
+            else:
+                value = (frame.left or ret) if frame.exists else (frame.left and ret)
+                cache[frame.key] = value
+                ret = value
+                frames.pop()
+        return ret
+
+
+register_paradigm(ExpansionSolver)
+
+
+def expand_solve(formula: QBF, config: Optional[SolverConfig] = None) -> SolveResult:
+    """Convenience: one-shot expansion solve (no hooks)."""
+    solver = ExpansionSolver(config)
+    solver.load(formula)
+    return solver.solve()

@@ -1,0 +1,252 @@
+"""The paradigm-neutral solver seam: protocol, capability flags, registry.
+
+Every consumer of "solve this QBF" — the CLI, the evalx harness, the serve
+daemon, the cube coordinator, the portfolio racer — talks to a *paradigm*
+through one narrow surface:
+
+* :class:`Solver` — the protocol: ``load(formula)`` / ``solve(**hooks)`` /
+  ``stats``, plus class-level ``name`` and ``capabilities``;
+* :class:`Capabilities` — honest feature flags a caller introspects
+  *before* wiring hooks: proof logging, checkpoint/resume, constraint
+  exchange, cooperative interruption. Passing a hook the paradigm cannot
+  honor raises :class:`CapabilityError` instead of silently dropping it —
+  a certificate that was never logged or a checkpoint that was never
+  flushed must fail loudly at the seam, not at triage time;
+* the registry — ``name → Solver subclass`` for every paradigm in
+  :data:`repro.core.engine.config.PARADIGMS`. Implementations register
+  themselves at import; :func:`get_paradigm` lazily imports the standard
+  implementations so callers need no import-order knowledge.
+
+Registered paradigms:
+
+``search``
+    the production QDPLL engine (:mod:`repro.core.solver` /
+    :mod:`repro.core.engine`) — QUBE(TO) on prenex inputs, QUBE(PO) on
+    quantifier trees. Full capabilities.
+``expansion``
+    the iterative quantifier-expansion engine (:mod:`repro.core.expand`),
+    the non-recursive worklist counterpart of the semantics oracle. No
+    proof logging, no checkpoint resume (v1), no exchange.
+``qdll``
+    the recursive Figure-1 reference (:mod:`repro.core.simple`), kept as a
+    registered paradigm so the repository has no unregistered solve entry
+    points. Reference-grade only.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from repro.core.engine.config import PARADIGMS, SolverConfig, default_paradigm
+from repro.core.formula import QBF
+from repro.core.result import SolveResult, SolverStats
+
+__all__ = [
+    "Capabilities",
+    "CapabilityError",
+    "Solver",
+    "available_paradigms",
+    "get_paradigm",
+    "register_paradigm",
+    "registry",
+    "solve_formula",
+]
+
+
+class CapabilityError(ValueError):
+    """A hook was requested from a paradigm that cannot honor it.
+
+    Subclasses :class:`ValueError` so protocol layers that map
+    ``ValueError`` to structured client errors (the serve daemon) report
+    capability mismatches without special-casing.
+    """
+
+    def __init__(self, paradigm: str, capability: str, detail: str = ""):
+        message = "paradigm %r does not support %s" % (paradigm, capability)
+        if detail:
+            message += " (%s)" % detail
+        super().__init__(message)
+        self.paradigm = paradigm
+        self.capability = capability
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a paradigm can honestly do; introspected before wiring hooks."""
+
+    #: accepts a :class:`repro.certify.proof.ProofLogger` and records a
+    #: machine-checkable clause/term resolution derivation.
+    proof: bool = False
+    #: honors ``resume_from``/``checkpoint_to`` (repro-ckpt snapshots).
+    checkpoint: bool = False
+    #: honors the cube-and-conquer constraint ``exchange`` hook.
+    exchange: bool = False
+    #: polls a cooperative interrupt flag at quiescent points.
+    interrupt: bool = True
+
+    def to_dict(self) -> Dict[str, bool]:
+        return {
+            "proof": self.proof,
+            "checkpoint": self.checkpoint,
+            "exchange": self.exchange,
+            "interrupt": self.interrupt,
+        }
+
+
+class Solver(abc.ABC):
+    """One solving session of one paradigm: load a formula, solve it.
+
+    Subclasses set ``name`` (the registry key, also the
+    ``SolverConfig.paradigm`` value) and ``capabilities``, and implement
+    :meth:`load` and :meth:`_solve_loaded`. The public :meth:`solve`
+    enforces the capability contract before delegating, so every
+    implementation gets hook validation for free.
+    """
+
+    #: registry key; must be listed in ``repro.core.engine.config.PARADIGMS``.
+    name: str = ""
+    capabilities: Capabilities = Capabilities()
+
+    def __init__(self, config: Optional[SolverConfig] = None):
+        self.config = config or SolverConfig()
+        self.formula: Optional[QBF] = None
+        #: work counters of the most recent :meth:`solve`; every paradigm
+        #: reports at least ``decisions`` (its own unit of branching work).
+        self.stats = SolverStats()
+
+    @abc.abstractmethod
+    def load(self, formula: QBF) -> None:
+        """Set (or replace) the formula the next :meth:`solve` works on."""
+
+    @abc.abstractmethod
+    def _solve_loaded(
+        self,
+        proof: Optional[object],
+        interrupt: Optional[object],
+        resume_from: Optional[object],
+        checkpoint_to: Optional[str],
+        exchange: Optional[object],
+    ) -> SolveResult:
+        """Solve the loaded formula; hooks are pre-validated."""
+
+    def solve(
+        self,
+        proof: Optional[object] = None,
+        interrupt: Optional[object] = None,
+        resume_from: Optional[object] = None,
+        checkpoint_to: Optional[str] = None,
+        exchange: Optional[object] = None,
+    ) -> SolveResult:
+        """Solve to completion, budget exhaustion, or interruption.
+
+        Raises :class:`CapabilityError` when a hook is passed that this
+        paradigm's :class:`Capabilities` rule out, and ``RuntimeError``
+        when no formula is loaded.
+        """
+        if self.formula is None:
+            raise RuntimeError("no formula loaded (call load() first)")
+        caps = self.capabilities
+        if proof is not None and not caps.proof:
+            raise CapabilityError(self.name, "proof logging")
+        if (resume_from is not None or checkpoint_to is not None) and not caps.checkpoint:
+            raise CapabilityError(self.name, "checkpoint/resume")
+        if exchange is not None and not caps.exchange:
+            raise CapabilityError(self.name, "constraint exchange")
+        result = self._solve_loaded(proof, interrupt, resume_from, checkpoint_to, exchange)
+        self.stats = result.stats
+        return result
+
+
+# -- the registry -------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[Solver]] = {}
+
+
+def register_paradigm(cls: Type[Solver]) -> Type[Solver]:
+    """Class decorator: enter ``cls`` into the paradigm registry.
+
+    The name must be pre-declared in ``PARADIGMS`` — the static tuple is
+    what config validation and CLI choices are built from, so a paradigm
+    that never made it there would be constructible but unreachable.
+    """
+    if not cls.name:
+        raise ValueError("paradigm class %r has no name" % (cls,))
+    if cls.name not in PARADIGMS:
+        raise ValueError(
+            "paradigm %r is not declared in config.PARADIGMS %s"
+            % (cls.name, PARADIGMS)
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    """Import the standard implementations so their registrations run."""
+    import repro.core.expand  # noqa: F401  (registers "expansion")
+    import repro.core.simple  # noqa: F401  (registers "qdll")
+    import repro.core.solver  # noqa: F401  (registers "search")
+
+
+def registry() -> Dict[str, Type[Solver]]:
+    """Snapshot of the full ``name → Solver subclass`` registry."""
+    _ensure_loaded()
+    return dict(_REGISTRY)
+
+
+def available_paradigms() -> Tuple[str, ...]:
+    """Registered paradigm names, in PARADIGMS declaration order."""
+    loaded = registry()
+    return tuple(name for name in PARADIGMS if name in loaded)
+
+
+def get_paradigm(name: Optional[str] = None) -> Type[Solver]:
+    """Resolve a paradigm name (default: :func:`default_paradigm`)."""
+    _ensure_loaded()
+    key = name if name is not None else default_paradigm()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            "unknown paradigm %r (choose from %s)" % (key, available_paradigms())
+        ) from None
+
+
+def solve_formula(
+    formula: QBF,
+    config: Optional[SolverConfig] = None,
+    proof: Optional[object] = None,
+    interrupt: Optional[object] = None,
+    resume_from: Optional[object] = None,
+    checkpoint_to: Optional[str] = None,
+    exchange: Optional[object] = None,
+) -> SolveResult:
+    """One-shot paradigm-dispatched solve; the seam every consumer uses.
+
+    The paradigm comes from ``config.paradigm`` (itself defaulting to the
+    ``REPRO_PARADIGM`` environment knob). Hook/capability mismatches raise
+    :class:`CapabilityError` before any solving starts.
+    """
+    config = config or SolverConfig()
+    solver = get_paradigm(config.paradigm)(config)
+    solver.load(formula)
+    return solver.solve(
+        proof=proof,
+        interrupt=interrupt,
+        resume_from=resume_from,
+        checkpoint_to=checkpoint_to,
+        exchange=exchange,
+    )
+
+
+def poll_interrupt(flag: Optional[object]) -> bool:
+    """Shared cooperative-interrupt probe: ``is_set()`` objects or callables.
+
+    The same duck-typing the search engine uses, factored out so the other
+    paradigms poll identically.
+    """
+    if flag is None:
+        return False
+    check = getattr(flag, "is_set", None)
+    return bool(check() if check is not None else flag())

@@ -95,6 +95,7 @@ class CubeJob:
     path: Tuple[int, ...]
     budget_decisions: Optional[int]
     engine: Optional[str] = None
+    paradigm: str = "search"
     certify: bool = False
     ckpt_path: Optional[str] = None
     resume: bool = False
@@ -154,7 +155,10 @@ def solve_cube_job(
     """
     started = time.monotonic()
     config = Budget(decisions=job.budget_decisions).to_config(
-        **({"engine": job.engine} if job.engine else {})
+        **dict(
+            ([("engine", job.engine)] if job.engine else [])
+            + ([("paradigm", job.paradigm)] if job.paradigm != "search" else [])
+        )
     )
     share = outbox is not None or inbox is not None or bool(job.preload)
     fragment: Optional[Dict[str, object]] = None
@@ -364,6 +368,7 @@ class _Coordinator:
         share: bool,
         seed: int,
         engine: Optional[str],
+        paradigm: str,
         max_depth: int,
         initial_cubes: Optional[int],
         wall_timeout: Optional[float],
@@ -379,6 +384,7 @@ class _Coordinator:
         self.share = share
         self.seed = seed
         self.engine = engine
+        self.paradigm = paradigm
         self.max_depth = max_depth
         self.initial_cubes = initial_cubes or max(INITIAL_CUBES_PER_JOB * jobs, 2)
         self.wall_timeout = wall_timeout
@@ -454,6 +460,7 @@ class _Coordinator:
                 path=node.path,
                 budget_decisions=node.budget,
                 engine=self.engine,
+                paradigm=self.paradigm,
                 certify=self.certify,
                 ckpt_path=self._ckpt_path(node),
                 resume=resume,
@@ -758,6 +765,7 @@ def run_cube(
     share: bool = True,
     seed: int = 0,
     engine: Optional[str] = None,
+    paradigm: Optional[str] = None,
     max_depth: int = 12,
     initial_cubes: Optional[int] = None,
     total_decisions: Optional[int] = None,
@@ -774,9 +782,35 @@ def run_cube(
     independent checker's verdict against the original formula. The folded
     verdict is deterministic for a given ``seed``; wall-clock, decision
     totals, and sharing statistics are not (see DESIGN.md §12).
+
+    ``paradigm`` (default: the configured session paradigm) must be
+    checkpoint-capable — workers snapshot their leaves for budget
+    escalation and preemption — and exchange-capable when ``share`` is on;
+    an incapable paradigm is refused upfront with a
+    :class:`~repro.core.paradigm.CapabilityError` instead of crashing a
+    worker mid-solve.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    from repro.core.engine.config import default_paradigm
+    from repro.core.paradigm import CapabilityError, get_paradigm
+
+    paradigm = paradigm if paradigm is not None else default_paradigm()
+    caps = get_paradigm(paradigm).capabilities
+    if not caps.checkpoint:
+        raise CapabilityError(
+            paradigm,
+            "checkpoint/resume",
+            "cube workers snapshot their leaves for budget escalation and "
+            "preemption; use a checkpoint-capable paradigm such as 'search'",
+        )
+    if share and jobs > 1 and not caps.exchange:
+        raise CapabilityError(
+            paradigm,
+            "constraint exchange",
+            "disable sharing (share=False) or use an exchange-capable "
+            "paradigm such as 'search'",
+        )
     started = time.monotonic()
     if jobs == 1:
         root = SplitNode(())
@@ -787,6 +821,7 @@ def run_cube(
             path=(),
             budget_decisions=total_decisions,
             engine=engine,
+            paradigm=paradigm,
             certify=certify,
         )
         payload = solve_cube_job(job, formula, interrupt=interrupt)
@@ -820,6 +855,7 @@ def run_cube(
         share=share,
         seed=seed,
         engine=engine,
+        paradigm=paradigm,
         max_depth=max_depth,
         initial_cubes=initial_cubes,
         wall_timeout=wall_timeout,

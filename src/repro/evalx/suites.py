@@ -94,6 +94,22 @@ def _engine_overrides(engine: str) -> Tuple[Tuple[str, object], ...]:
     return (("engine", engine),) if engine != "counters" else ()
 
 
+def paradigm_overrides(paradigm: str) -> Tuple[Tuple[str, object], ...]:
+    """Task overrides for a solver-paradigm choice, non-default-only.
+
+    Same contract as :func:`_engine_overrides`: the default ``"search"``
+    paradigm contributes *nothing* to the fingerprint, so every resume key
+    recorded before paradigms existed still matches; ``"expansion"`` and
+    ``"qdll"`` runs key their own rows.
+    """
+    return (("paradigm", paradigm),) if paradigm != "search" else ()
+
+
+def _config_overrides(engine: str, paradigm: str) -> Tuple[Tuple[str, object], ...]:
+    """Combined non-default-only overrides for a suite's config choices."""
+    return _engine_overrides(engine) + paradigm_overrides(paradigm)
+
+
 def _checked(to_run: Measurement, po_run: Measurement, log: Optional[ResultsLog]) -> None:
     """TO/PO agreement: raise when unlogged, record as data when logged."""
     try:
@@ -161,12 +177,13 @@ def run_ncf(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    paradigm: str = "search",
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
 ) -> List[PairResult]:
     """Run QUBE(TO) under each strategy and QUBE(PO) on the NCF sweep."""
-    overrides = _engine_overrides(engine)
+    overrides = _config_overrides(engine, paradigm)
     tasks: List[Task] = []
     meta: List[Tuple[str, str]] = []
     for setting, params_list in ncf_settings(instances):
@@ -226,12 +243,13 @@ def run_fpv(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    paradigm: str = "search",
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
 ) -> List[PairResult]:
     """Run the FPV suite with the ∃↑∀↑ strategy (the paper's choice)."""
-    overrides = _engine_overrides(engine)
+    overrides = _config_overrides(engine, paradigm)
     tasks: List[Task] = []
     labels: List[str] = []
     for params in fpv_instances(count):
@@ -301,12 +319,13 @@ def run_dia(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    paradigm: str = "search",
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
 ) -> List[PairResult]:
     """Run TO/PO on every DIA instance (prenex form == equation (16))."""
-    overrides = _engine_overrides(engine)
+    overrides = _config_overrides(engine, paradigm)
     tasks: List[Task] = []
     labels: List[str] = []
     for label, tree, flat in dia_instances(max_n_cap):
@@ -457,6 +476,7 @@ def run_eval06(
     wall_timeout: Optional[float] = None,
     certify: bool = False,
     engine: str = "counters",
+    paradigm: str = "search",
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
@@ -469,7 +489,7 @@ def run_eval06(
     (cheap) miniscoping filter runs in-process; only the solver runs are
     fanned out.
     """
-    overrides = _engine_overrides(engine)
+    overrides = _config_overrides(engine, paradigm)
     tasks: List[Task] = []
     labels: List[str] = []
     filtered_out = 0

@@ -1,0 +1,420 @@
+"""The portfolio racer: run several paradigms, keep the first verdict.
+
+One :func:`race` call solves one instance with every entrant of the
+portfolio concurrently (default: QUBE(TO) search, QUBE(PO) search, and the
+expansion engine) and returns as soon as any entrant reports a determinate
+TRUE/FALSE — the siblings are cancelled with the same SIGTERM → grace →
+SIGKILL escalation the batch pool uses, so a cooperative entrant still
+reports its partial (interrupted) measurement.
+
+Entrants are ordinary :class:`repro.evalx.parallel.Task` objects executed
+by :func:`repro.evalx.parallel.execute_task` in forked workers
+(:func:`_worker_main`), which is what makes the race fault-isolated: a
+crashing paradigm loses the race instead of taking the process down.
+``jobs=1`` is the deterministic degenerate case — entrants run serially
+in-process, in declaration order, stopping at the first verdict — so a
+portfolio result is reproducible bit-for-bit when needed.
+
+**Disagreement triage.** When two entrants both finish and claim opposite
+verdicts (possible in the race window, and forced in CI by the
+``flip-verdict`` fault), the racer re-solves the instance with the
+proof-capable search paradigm under ``certify=True`` and sides with the
+outcome backed by a VERIFIED certificate — the same rule as
+:attr:`repro.evalx.runner.SolverDisagreement.winner`. Expansion cannot log
+proofs (honest capability flag), so its claims can never outvote a
+verified search certificate; if certification itself fails, the race
+reports UNKNOWN with the disagreement attached rather than guessing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.formula import QBF
+from repro.core.result import Outcome
+from repro.evalx.parallel import (
+    STATUS_OK,
+    Task,
+    _mp_context,
+    _worker_main,
+    execute_task,
+    measurement_from_dict,
+)
+from repro.evalx.runner import Budget, Measurement, solve_po
+from repro.evalx.suites import paradigm_overrides
+from repro.robustness.faults import FaultPlan
+
+__all__ = ["DEFAULT_ENTRANTS", "ENTRANTS", "Entrant", "PortfolioResult", "race"]
+
+
+@dataclass(frozen=True)
+class Entrant:
+    """One lane of the portfolio: a pipeline plus a paradigm.
+
+    ``mode`` is the evalx pipeline ("to" prenexes first, "po" solves the
+    tree as-is); ``paradigm`` selects the registered solving algorithm.
+    """
+
+    name: str
+    mode: str
+    paradigm: str = "search"
+
+    def task(
+        self, formula: QBF, instance: str, budget: Budget, strategy: str, engine: str
+    ) -> Task:
+        overrides: Tuple[Tuple[str, object], ...] = paradigm_overrides(self.paradigm)
+        if engine != "counters" and self.paradigm == "search":
+            overrides += (("engine", engine),)
+        return Task(
+            instance=instance,
+            solver=self.name,
+            formula=formula,
+            mode=self.mode,
+            strategy=strategy,
+            budget=budget,
+            overrides=overrides,
+        )
+
+
+#: the standard field: partial-order search, total-order search, expansion.
+ENTRANTS: Dict[str, Entrant] = {
+    "TO": Entrant("TO", "to", "search"),
+    "PO": Entrant("PO", "po", "search"),
+    "EXP": Entrant("EXP", "po", "expansion"),
+}
+#: declaration order doubles as the serial-mode priority: PO first (the
+#: paper's structure-aware headline procedure, and empirically the best
+#: single paradigm on the fig6 families), then TO, then expansion.
+DEFAULT_ENTRANTS: Tuple[str, ...] = ("PO", "TO", "EXP")
+
+
+@dataclass
+class PortfolioResult:
+    """One race's verdict and its provenance."""
+
+    instance: str
+    outcome: Outcome
+    #: entrant whose verdict stands (None when every lane came back UNKNOWN
+    #: or an unresolved disagreement forced the outcome to UNKNOWN).
+    winner: Optional[str]
+    #: wall-clock of the whole race, cancellation included.
+    seconds: float
+    #: concurrency the race actually used (requested jobs clamped to the
+    #: machine's cores; 1 means the deterministic serial mode ran).
+    jobs: int = 1
+    #: measurements that made it back, in completion order (cancelled lanes
+    #: that reported an interrupted partial measurement are included).
+    measurements: List[Measurement] = field(default_factory=list)
+    #: lanes cancelled (or never started) once the verdict was in.
+    cancelled: List[str] = field(default_factory=list)
+    #: lanes that crashed, with their error text.
+    errors: Dict[str, str] = field(default_factory=dict)
+    #: human-readable description when determinate lanes disagreed.
+    disagreement: Optional[str] = None
+    #: certificate-triage verdict for a disagreement (see :func:`race`).
+    triage: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        from repro.evalx.parallel import measurement_to_dict
+
+        out: Dict[str, object] = {
+            "instance": self.instance,
+            "outcome": self.outcome.value,
+            "winner": self.winner,
+            "seconds": self.seconds,
+            "jobs": self.jobs,
+            "measurements": [measurement_to_dict(m) for m in self.measurements],
+            "cancelled": list(self.cancelled),
+        }
+        if self.errors:
+            out["errors"] = dict(self.errors)
+        if self.disagreement is not None:
+            out["disagreement"] = self.disagreement
+        if self.triage is not None:
+            out["triage"] = self.triage
+        return out
+
+
+def _apply_flip(m: Measurement, label: str, faults: Optional[FaultPlan]) -> Measurement:
+    """Parent-side flip-verdict injection (UNKNOWN stays UNKNOWN)."""
+    if faults is None or not faults.flips_verdict(label) or m.timed_out:
+        return m
+    m.outcome = Outcome.FALSE if m.outcome is Outcome.TRUE else Outcome.TRUE
+    m.certificate_status = None  # a flipped verdict cannot keep its proof
+    return m
+
+
+def _triage(
+    formula: QBF,
+    instance: str,
+    budget: Budget,
+    engine: str,
+    determinate: Sequence[Measurement],
+) -> Tuple[Outcome, Optional[str], Dict[str, object]]:
+    """Certificate triage of a cross-paradigm disagreement.
+
+    Re-solves with the proof-capable search paradigm (PO pipeline, the one
+    that works on the original formula) under ``certify=True`` — a 4x
+    decision budget, since certifying configs disable pure literals — and
+    sides with the VERIFIED certificate, exactly as
+    ``SolverDisagreement.winner`` does for TO/PO sweeps. Returns
+    ``(outcome, winner_label, triage_info)``; outcome is UNKNOWN when the
+    certificate could not settle it.
+    """
+    from repro.certify.checker import VERIFIED
+
+    certified = solve_po(
+        formula,
+        instance,
+        budget=Budget(decisions=budget.decisions * 4, seconds=budget.seconds),
+        certify=True,
+        engine=engine,
+    )
+    info: Dict[str, object] = {
+        "certified_by": "PO/search",
+        "certificate_status": certified.certificate_status,
+        "certified_outcome": certified.outcome.value,
+    }
+    if certified.timed_out or certified.certificate_status != VERIFIED:
+        info["resolved"] = False
+        return Outcome.UNKNOWN, None, info
+    truth = certified.outcome
+    info["resolved"] = True
+    info["losers"] = [m.solver for m in determinate if m.outcome is not truth]
+    for m in determinate:
+        if m.outcome is truth:
+            return truth, m.solver, info
+    # No racer claimed the certified truth (e.g. every determinate lane was
+    # flipped); the certified run itself stands as the winner.
+    return truth, "PO(certified)", info
+
+
+def race(
+    formula: QBF,
+    instance: str = "",
+    budget: Budget = Budget(),
+    jobs: int = 3,
+    entrants: Sequence[str] = DEFAULT_ENTRANTS,
+    strategy: str = "eu_au",
+    engine: str = "counters",
+    run_all: bool = False,
+    faults: Optional[FaultPlan] = None,
+    wall_timeout: Optional[float] = None,
+    term_grace: float = 2.0,
+    poll_interval: float = 0.005,
+) -> PortfolioResult:
+    """Race the portfolio on one instance; first determinate verdict wins.
+
+    Args:
+        formula: the instance (prenex or tree; the TO lane prenexes it).
+        jobs: requested concurrent lanes, clamped to the machine's cores:
+            racing N CPU-bound lanes on fewer cores only adds timeslicing
+            overhead to whichever lane would have won, so the racer never
+            oversubscribes. ``1`` (requested or clamped) runs entrants
+            serially in declaration order and stops at the first verdict —
+            fully deterministic.
+        entrants: entrant names from :data:`ENTRANTS`, or
+            ``name:mode:paradigm`` triples for custom lanes.
+        run_all: let every lane finish (no cancellation) and cross-check
+            all verdicts — the agreement-audit mode CI's forced-
+            disagreement check uses.
+        faults: a :class:`FaultPlan`; ``crash``/``hang`` kinds fire in the
+            workers as in batch sweeps, ``flip-verdict`` inverts the
+            labeled lane's verdict on arrival (label = ``instance|name``).
+        wall_timeout: hard per-lane seconds (pool mode only), with the
+            usual SIGTERM → ``term_grace`` → SIGKILL escalation.
+    """
+    field_: List[Entrant] = []
+    for name in entrants:
+        if name in ENTRANTS:
+            field_.append(ENTRANTS[name])
+        else:
+            parts = name.split(":")
+            if len(parts) != 3:
+                raise ValueError(
+                    "unknown entrant %r (choose from %s or name:mode:paradigm)"
+                    % (name, sorted(ENTRANTS))
+                )
+            field_.append(Entrant(parts[0], parts[1], parts[2]))
+    if not field_:
+        raise ValueError("empty portfolio")
+    tasks = [e.task(formula, instance, budget, strategy, engine) for e in field_]
+    if faults is not None:
+        faults.bind(FaultPlan.label(t) for t in tasks)
+
+    effective_jobs = max(1, min(jobs, len(tasks), os.cpu_count() or 1))
+    start = time.perf_counter()
+    if effective_jobs == 1:
+        measurements, cancelled, errors = _race_serial(tasks, faults, run_all)
+    else:
+        measurements, cancelled, errors = _race_pool(
+            tasks, effective_jobs, faults, run_all, wall_timeout, term_grace, poll_interval
+        )
+    seconds = time.perf_counter() - start
+
+    determinate = [m for m in measurements if not m.timed_out]
+    result = PortfolioResult(
+        instance=instance,
+        outcome=Outcome.UNKNOWN,
+        winner=None,
+        seconds=seconds,
+        jobs=effective_jobs,
+        measurements=measurements,
+        cancelled=cancelled,
+        errors=errors,
+    )
+    if not determinate:
+        return result
+    outcomes = {m.outcome for m in determinate}
+    if len(outcomes) == 1:
+        result.outcome = determinate[0].outcome
+        result.winner = determinate[0].solver
+        return result
+    # Cross-paradigm disagreement: describe it, then let the certificate
+    # checker arbitrate.
+    result.disagreement = "; ".join(
+        "%s=%s" % (m.solver, m.outcome.value) for m in determinate
+    )
+    result.outcome, result.winner, result.triage = _triage(
+        formula, instance, budget, engine, determinate
+    )
+    return result
+
+
+def _race_serial(
+    tasks: Sequence[Task], faults: Optional[FaultPlan], run_all: bool
+) -> Tuple[List[Measurement], List[str], Dict[str, str]]:
+    """jobs=1: in-process, in order, stop at the first verdict."""
+    import traceback
+
+    measurements: List[Measurement] = []
+    errors: Dict[str, str] = {}
+    for i, task in enumerate(tasks):
+        try:
+            if faults is not None:
+                faults.on_worker_start(task, 1)
+            m = execute_task(task)
+        except Exception:
+            errors[task.solver] = traceback.format_exc()
+            continue
+        measurements.append(_apply_flip(m, FaultPlan.label(task), faults))
+        if not run_all and not measurements[-1].timed_out:
+            return measurements, [t.solver for t in tasks[i + 1 :]], errors
+    return measurements, [], errors
+
+
+def _race_pool(
+    tasks: Sequence[Task],
+    jobs: int,
+    faults: Optional[FaultPlan],
+    run_all: bool,
+    wall_timeout: Optional[float],
+    term_grace: float,
+    poll_interval: float,
+) -> Tuple[List[Measurement], List[str], Dict[str, str]]:
+    """Forked lanes; first verdict SIGTERMs the rest (grace, then SIGKILL)."""
+    ctx = _mp_context()
+    queue = list(tasks)
+    running: List[dict] = []
+    measurements: List[Measurement] = []
+    errors: Dict[str, str] = {}
+    cancelled: List[str] = []
+    have_verdict = False
+
+    def spawn(task: Task) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main, args=(task, execute_task, child_conn, 1, faults), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        now = time.monotonic()
+        running.append(
+            {
+                "process": process,
+                "conn": parent_conn,
+                "task": task,
+                "deadline": (now + wall_timeout) if wall_timeout is not None else None,
+                "termed_at": None,
+            }
+        )
+
+    def reap(slot: dict) -> None:
+        running.remove(slot)
+        slot["conn"].close()
+        slot["process"].join(timeout=5.0)
+        if slot["process"].is_alive():  # pragma: no cover - stuck worker
+            slot["process"].kill()
+            slot["process"].join()
+
+    def cancel_siblings() -> None:
+        nonlocal have_verdict
+        have_verdict = True
+        for waiting in queue:
+            cancelled.append(waiting.solver)
+        queue.clear()
+        now = time.monotonic()
+        for other in running:
+            if other["termed_at"] is None:
+                other["process"].terminate()
+                other["termed_at"] = now
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs and not have_verdict:
+                spawn(queue.pop(0))
+            progressed = False
+            now = time.monotonic()
+            for slot in list(running):
+                task = slot["task"]
+                payload = None
+                try:
+                    if slot["conn"].poll():
+                        payload = slot["conn"].recv()
+                except (EOFError, OSError):
+                    payload = None
+                if payload is not None:
+                    reap(slot)
+                    status, body = payload
+                    if status == STATUS_OK and isinstance(body, dict):
+                        m = _apply_flip(
+                            measurement_from_dict(body), FaultPlan.label(task), faults
+                        )
+                        measurements.append(m)
+                        if slot["termed_at"] is not None:
+                            cancelled.append(task.solver)
+                        elif not run_all and not m.timed_out and not have_verdict:
+                            cancel_siblings()
+                    else:
+                        errors[task.solver] = body if isinstance(body, str) else "crash"
+                    progressed = True
+                elif not slot["process"].is_alive():
+                    exitcode = slot["process"].exitcode
+                    reap(slot)
+                    if slot["termed_at"] is not None:
+                        cancelled.append(task.solver)
+                    else:
+                        errors[task.solver] = (
+                            "worker died without reporting (exitcode %s)" % (exitcode,)
+                        )
+                    progressed = True
+                else:
+                    termed = slot["termed_at"]
+                    if termed is None and slot["deadline"] is not None and now > slot["deadline"]:
+                        slot["process"].terminate()
+                        slot["termed_at"] = now
+                    elif termed is not None and now - termed > term_grace:
+                        slot["process"].kill()
+                        reap(slot)
+                        cancelled.append(task.solver)
+                        progressed = True
+            if not progressed:
+                time.sleep(poll_interval)
+    finally:
+        for slot in list(running):  # interrupted: leave no orphans behind
+            slot["process"].terminate()
+            reap(slot)
+    return measurements, cancelled, errors

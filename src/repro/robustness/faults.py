@@ -19,6 +19,11 @@ Fault kinds and where they fire:
 * ``torn-checkpoint`` — a garbage checkpoint file is planted where the
   task would resume from (first attempt only); exercises digest detection
   and the fall-back-to-fresh path.
+* ``flip-verdict`` — the portfolio racer (:mod:`repro.portfolio.race`)
+  inverts the labeled entrant's determinate outcome as it arrives;
+  exercises cross-paradigm disagreement detection and certificate triage.
+  Unlike the worker-side faults it fires on *every* arrival of the label
+  (the triage re-solve bypasses the plan, so it still sees the truth).
 
 Worker-side faults key off ``attempt == 1`` so recovery, not the fault,
 decides the final record; the torn append is one-shot per label within the
@@ -35,7 +40,8 @@ CRASH = "crash"
 HANG = "hang"
 TORN_APPEND = "torn-append"
 TORN_CHECKPOINT = "torn-checkpoint"
-KINDS = (CRASH, HANG, TORN_APPEND, TORN_CHECKPOINT)
+FLIP_VERDICT = "flip-verdict"
+KINDS = (CRASH, HANG, TORN_APPEND, TORN_CHECKPOINT, FLIP_VERDICT)
 
 
 class InjectedFault(RuntimeError):
@@ -58,6 +64,7 @@ class FaultPlan:
         hangs: int = 0,
         torn_appends: int = 0,
         torn_checkpoints: int = 0,
+        flip_verdicts: int = 0,
         hang_seconds: float = 3600.0,
         assignments: Optional[Dict[str, str]] = None,
     ):
@@ -66,6 +73,7 @@ class FaultPlan:
         self.hangs = hangs
         self.torn_appends = torn_appends
         self.torn_checkpoints = torn_checkpoints
+        self.flip_verdicts = flip_verdicts
         self.hang_seconds = hang_seconds
         self.assignments: Optional[Dict[str, str]] = (
             dict(assignments) if assignments is not None else None
@@ -96,6 +104,7 @@ class FaultPlan:
             + [HANG] * self.hangs
             + [TORN_APPEND] * self.torn_appends
             + [TORN_CHECKPOINT] * self.torn_checkpoints
+            + [FLIP_VERDICT] * self.flip_verdicts
         )
         rng = random.Random(self.seed)
         victims = rng.sample(ordered, min(len(wanted), len(ordered)))
@@ -123,6 +132,16 @@ class FaultPlan:
                 with open(path, "w") as fh:
                     fh.write('{"format": "repro-ckpt", "version": 1, "sha2')
 
+    def flips_verdict(self, label: str) -> bool:
+        """Should this entrant's determinate race outcome be inverted?
+
+        Consulted by the portfolio racer on each arriving measurement (not
+        one-shot: a rerun with the same plan must disagree the same way).
+        The certificate-triage re-solve deliberately does not consult the
+        plan, so triage always sides with the unflipped truth.
+        """
+        return self.kind_for(label) == FLIP_VERDICT
+
     def torn_append(self, label: str) -> bool:
         """Should this record's JSONL line be torn? One-shot per label."""
         if self.kind_for(label) == TORN_APPEND and label not in self._torn_done:
@@ -139,6 +158,7 @@ class FaultPlan:
             "hangs": self.hangs,
             "torn_appends": self.torn_appends,
             "torn_checkpoints": self.torn_checkpoints,
+            "flip_verdicts": self.flip_verdicts,
             "hang_seconds": self.hang_seconds,
         }
         if self.assignments is not None:
@@ -153,6 +173,7 @@ class FaultPlan:
             hangs=int(data.get("hangs", 0)),
             torn_appends=int(data.get("torn_appends", 0)),
             torn_checkpoints=int(data.get("torn_checkpoints", 0)),
+            flip_verdicts=int(data.get("flip_verdicts", 0)),
             hang_seconds=float(data.get("hang_seconds", 3600.0)),
             assignments=data.get("assignments"),
         )

@@ -13,6 +13,12 @@ One process, three execution lanes:
   :class:`~repro.incremental.IncrementalSolver` keeps its learned
   constraints between bounds.
 
+``solve`` requests may pick a non-default ``paradigm`` (expansion, the
+recursive reference) and ``portfolio`` requests race several paradigms via
+:func:`repro.portfolio.race`; capability mismatches — ``certify`` with a
+proof-incapable paradigm — come back as structured errors before any
+worker is spawned.
+
 Verdicts are cached by the :meth:`repro.evalx.parallel.Task.key`
 fingerprint triple and persisted to a :class:`~repro.evalx.parallel.
 ResultsLog` (``--cache``): a restarted daemon reloads the log and serves
@@ -57,6 +63,7 @@ from repro.serve.protocol import (
     error_response,
     parse_budget,
     parse_deadline,
+    parse_paradigm,
     validate_smv_request,
 )
 from repro.smv.incremental import DiameterFamily
@@ -183,9 +190,31 @@ class ServeDaemon:
         mode = req.get("mode", "po")
         if mode not in ("po", "to"):
             raise ProtocolError("mode must be 'po' or 'to'")
+        paradigm = parse_paradigm(req)
+        checkpoint_dir = self.checkpoint_dir
+        if paradigm != "search":
+            # Capability mismatches are structured errors (CapabilityError
+            # is a ValueError, so the dispatch loop reports it cleanly):
+            # certify + a proof-incapable paradigm must not reach a worker.
+            from repro.core.paradigm import CapabilityError, get_paradigm
+
+            caps = get_paradigm(paradigm).capabilities
+            if bool(req.get("certify", False)) and not caps.proof:
+                raise CapabilityError(
+                    paradigm, "proof logging", "drop 'certify' or use search"
+                )
+            if not caps.checkpoint:
+                # The daemon-side checkpoint directory is an optimization
+                # for preempted shard solves; a paradigm that cannot
+                # checkpoint simply runs without it.
+                checkpoint_dir = None
         overrides = []
         if "engine" in req:
             overrides.append(("engine", req["engine"]))
+        if paradigm != "search":
+            # Non-default-only, like the batch harness: cache fingerprints
+            # of existing search-paradigm verdicts stay untouched.
+            overrides.append(("paradigm", paradigm))
         task = Task(
             instance=str(req.get("instance", "serve")),
             solver=str(req.get("solver", mode.upper())),
@@ -209,7 +238,7 @@ class ServeDaemon:
                     [task],
                     jobs=2,
                     wall_timeout=deadline,
-                    checkpoint_dir=self.checkpoint_dir,
+                    checkpoint_dir=checkpoint_dir,
                 ),
             )
         record = records[0]
@@ -337,6 +366,19 @@ class ServeDaemon:
         certify = bool(req.get("certify", False))
         share = bool(req.get("share", True))
         engine = req.get("engine")
+        paradigm = parse_paradigm(req)
+        # Validate capability upfront on the event loop: run_cube would
+        # raise the same CapabilityError, but from the executor thread —
+        # failing here keeps the structured error on the cheap path.
+        from repro.core.paradigm import get_paradigm
+
+        caps = get_paradigm(paradigm).capabilities
+        if not caps.checkpoint:
+            raise ProtocolError(
+                "paradigm %r cannot checkpoint; cube-solve workers snapshot "
+                "their leaves — use a checkpoint-capable paradigm such as "
+                "'search'" % paradigm
+            )
 
         loop = asyncio.get_running_loop()
         async with self._slots:
@@ -349,6 +391,7 @@ class ServeDaemon:
                     share=share,
                     seed=seed,
                     engine=engine,
+                    paradigm=paradigm,
                     wall_timeout=deadline,
                     interrupt=self._interrupt,
                 ),
@@ -381,6 +424,75 @@ class ServeDaemon:
             out["certificate_complete"] = report.certificate.complete
         return out
 
+    async def _handle_portfolio(self, req: Dict[str, object]) -> Dict[str, object]:
+        """Race several paradigms on one formula (``portfolio``)."""
+        from repro.portfolio import DEFAULT_ENTRANTS, race
+
+        if bool(req.get("certify", False)):
+            raise ProtocolError(
+                "portfolio does not accept 'certify': the default field "
+                "includes proof-incapable lanes; cross-paradigm "
+                "disagreements are certificate-triaged automatically"
+            )
+        formula = self._parse_formula(req)
+        deadline = self._effective_deadline(req)
+        entrants = req.get("entrants", list(DEFAULT_ENTRANTS))
+        if not isinstance(entrants, list) or not all(
+            isinstance(e, str) for e in entrants
+        ):
+            raise ProtocolError("portfolio entrants must be a list of strings")
+        jobs = req.get("jobs", 3)
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+            raise ProtocolError("portfolio jobs must be a positive integer")
+        if jobs > MAX_CUBE_JOBS:
+            raise ProtocolError("portfolio jobs must be at most %d" % MAX_CUBE_JOBS)
+        budget = parse_budget(req.get("budget"))
+        # Serial races run in-process, so the deadline binds cooperatively
+        # through the wall budget; pool races additionally get the hard
+        # per-lane wall timeout.
+        seconds = deadline if budget.seconds is None else min(budget.seconds, deadline)
+        budget = Budget(decisions=budget.decisions, seconds=seconds)
+
+        loop = asyncio.get_running_loop()
+        async with self._slots:
+            result = await loop.run_in_executor(
+                self._pool,
+                lambda: race(
+                    formula,
+                    instance=str(req.get("instance", "serve")),
+                    budget=budget,
+                    jobs=jobs,
+                    entrants=tuple(entrants),
+                    strategy=str(req.get("strategy", "eu_au")),
+                    engine=str(req.get("engine", "counters")),
+                    run_all=bool(req.get("run_all", False)),
+                    wall_timeout=deadline,
+                ),
+            )
+        self.stats["solves"] += 1
+        out: Dict[str, object] = {
+            "ok": True,
+            "cached": False,
+            "outcome": result.outcome.value,
+            "winner": result.winner,
+            "jobs": result.jobs,
+            "seconds": result.seconds,
+            "cancelled": result.cancelled,
+            "reported": {
+                m.solver: m.outcome.value for m in result.measurements
+            },
+            "protocol": PROTOCOL_VERSION,
+        }
+        if result.errors:
+            out["lane_errors"] = {
+                name: err.strip().splitlines()[-1]
+                for name, err in result.errors.items()
+            }
+        if result.disagreement is not None:
+            out["disagreement"] = result.disagreement
+            out["triage"] = result.triage
+        return out
+
     async def dispatch(self, req: Dict[str, object]) -> Dict[str, object]:
         kind = req.get("kind", "solve")
         if kind == "ping":
@@ -406,6 +518,8 @@ class ServeDaemon:
             return await self._handle_smv(req)
         if kind == "cube-solve":
             return await self._handle_cube(req)
+        if kind == "portfolio":
+            return await self._handle_portfolio(req)
         raise ProtocolError("unknown request kind %r" % (kind,))
 
     # -- server loop -------------------------------------------------------

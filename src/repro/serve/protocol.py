@@ -11,7 +11,20 @@ one JSON response line. ``kind`` selects the handler:
     a one-shot solve of an inlined formula: ``formula`` (text) +
     ``format`` ("qdimacs" or "qtree"), optional ``mode`` ("po"/"to"),
     ``strategy``, ``budget`` ({"decisions", "seconds"}), ``certify``,
-    ``engine``. Dispatched to a fault-isolated worker shard.
+    ``engine``, ``paradigm`` ("search"/"expansion"/"qdll"; see
+    :mod:`repro.core.paradigm`). A capability mismatch — e.g. ``certify``
+    with the proof-incapable expansion paradigm — is a structured error,
+    never an attempted solve. Dispatched to a fault-isolated worker shard.
+``portfolio``
+    race several paradigms on one inlined formula and keep the first
+    determinate verdict (see :mod:`repro.portfolio`): ``formula`` +
+    ``format`` like ``solve``, optional ``entrants`` (list of lane names
+    or ``name:mode:paradigm`` triples), ``jobs``, ``strategy``,
+    ``engine``, ``budget``, ``run_all``. Responses add ``winner``,
+    ``cancelled`` and — on cross-paradigm disagreement — the
+    certificate-triage record. ``certify`` is rejected here (the default
+    field includes proof-incapable lanes); disagreements are certificate-
+    triaged automatically instead.
 ``smv-diameter``
     one bound of a model family's diameter sweep: ``family``, ``size``,
     ``n``, optional ``budget``. Solved in-process on the family's
@@ -20,7 +33,9 @@ one JSON response line. ``kind`` selects the handler:
     a cube-and-conquer solve of an inlined formula across worker
     processes: ``formula`` + ``format`` like ``solve``, plus optional
     ``jobs`` (default 2, capped at :data:`MAX_CUBE_JOBS`), ``certify``,
-    ``share``, ``seed``. Responses add the coordinator's work accounting
+    ``share``, ``seed``, ``paradigm`` (must be checkpoint-capable — cube
+    workers snapshot their leaves). Responses add the coordinator's work
+    accounting
     (``leaves``, ``resplits``, ``escalations``, ``share``) and, when
     certifying, ``certificate_status``.
 
@@ -44,13 +59,17 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.core.engine.config import PARADIGMS
 from repro.core.formula import QBF
 from repro.evalx.runner import Budget
 
 #: bumped when a response field changes meaning; echoed on every response.
 PROTOCOL_VERSION = 1
 
-KINDS = ("ping", "stats", "solve", "smv-diameter", "cube-solve", "shutdown")
+KINDS = (
+    "ping", "stats", "solve", "smv-diameter", "cube-solve", "portfolio",
+    "shutdown",
+)
 
 #: wall-clock cap applied to solve-lane requests that set no ``deadline``;
 #: guarantees every request eventually gets a structured response.
@@ -82,6 +101,16 @@ def parse_budget(payload: Optional[Dict[str, object]]) -> Budget:
     if seconds is not None and not isinstance(seconds, (int, float)):
         raise ProtocolError("budget.seconds must be a number")
     return Budget(decisions=decisions, seconds=seconds)
+
+
+def parse_paradigm(req: Dict[str, object]) -> str:
+    """The request's solving paradigm; defaults to classic search."""
+    paradigm = req.get("paradigm", "search")
+    if not isinstance(paradigm, str) or paradigm not in PARADIGMS:
+        raise ProtocolError(
+            "unknown paradigm %r (choose from %s)" % (paradigm, list(PARADIGMS))
+        )
+    return paradigm
 
 
 def parse_deadline(req: Dict[str, object]) -> float:

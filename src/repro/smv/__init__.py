@@ -7,7 +7,7 @@ from repro.smv.diameter import (
     diameter_qbf,
     t_prime,
 )
-from repro.smv.model import SymbolicModel, equal_states
+from repro.smv.models import SymbolicModel, equal_states
 from repro.smv.models import (
     CounterModel,
     DmeModel,

@@ -41,7 +41,7 @@ from repro.core.result import Outcome, SolveResult
 from repro.core.solver import SolverConfig, solve
 from repro.formulas.ast import And, Exists, Forall, Formula, Not, Or, conj, disj
 from repro.formulas.cnf import to_qbf
-from repro.smv.model import SymbolicModel, equal_states
+from repro.smv.models import SymbolicModel, equal_states
 
 FORMS = ("tree", "prenex")
 

@@ -38,7 +38,7 @@ from repro.formulas.ast import Formula, Not, nnf
 from repro.formulas.cnf import _Clausifier
 from repro.incremental import IncrementalSolver
 from repro.smv.diameter import DiameterRun, t_prime
-from repro.smv.model import SymbolicModel, equal_states
+from repro.smv.models import SymbolicModel, equal_states
 
 #: a group label: ("init-x",), ("fwd", i), ("neg-t-y", i), ("neg-eq", n), …
 Label = Tuple[object, ...]

@@ -1,67 +1,20 @@
-"""Symbolic finite-state models — the NuSMV-substitute substrate.
+"""Deprecated alias of :mod:`repro.smv.models`.
 
-The paper's DIA suite (Section VII-C) computes state-space diameters of
-models bundled with NuSMV, extracting the initial-condition predicate
-``I(s)`` and the transition relation ``T(s, s')`` with NuSMV's BMC tool.
-This module plays that role: a :class:`SymbolicModel` is a machine over
-``num_bits`` boolean state variables that can instantiate ``I`` and ``T``
-over *any* given lists of variable indices — exactly what the diameter
-encoding needs to build the time-unrolled copies ``x_0 … x_{n+1}`` and
-``y_0 … y_n``.
+The substrate (:class:`SymbolicModel` and the state-vector helpers) and
+the DIA model families used to live in two near-duplicate modules; they
+are now one module, :mod:`repro.smv.models`. This shim re-exports the old
+names so existing ``from repro.smv.model import ...`` imports keep
+resolving to the same objects; new code should import from
+``repro.smv.models`` directly.
 """
 
 from __future__ import annotations
 
-import abc
-from typing import List, Sequence
+from repro.smv.models import (
+    SymbolicModel,
+    at_most_one,
+    equal_states,
+    unchanged,
+)
 
-from repro.formulas.ast import And, Formula, Iff, Var, conj
-
-
-class SymbolicModel(abc.ABC):
-    """A boolean FSM defined by symbolic ``I`` and ``T`` predicates."""
-
-    #: short identifier used in benchmark labels, e.g. ``counter3``.
-    name: str = "model"
-    #: number of boolean state variables.
-    num_bits: int = 0
-
-    @abc.abstractmethod
-    def init(self, s: Sequence[int]) -> Formula:
-        """``I(s)``: satisfied exactly by the initial states."""
-
-    @abc.abstractmethod
-    def trans(self, s: Sequence[int], t: Sequence[int]) -> Formula:
-        """``T(s, t)``: satisfied exactly when ``t`` is a successor of ``s``."""
-
-    def check_vector(self, s: Sequence[int]) -> None:
-        if len(s) != self.num_bits:
-            raise ValueError(
-                "%s expects %d state bits, got %d" % (self.name, self.num_bits, len(s))
-            )
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "%s(bits=%d)" % (self.name, self.num_bits)
-
-
-def equal_states(s: Sequence[int], t: Sequence[int]) -> Formula:
-    """Bitwise equality ``s ≡ t`` (the ``x_{n+1} ≡ y_n`` of equation (14))."""
-    if len(s) != len(t):
-        raise ValueError("state vectors differ in width")
-    return conj(Iff(Var(a), Var(b)) for a, b in zip(s, t))
-
-
-def unchanged(s: Sequence[int], t: Sequence[int], positions: Sequence[int]) -> Formula:
-    """Frame condition: the given bit positions keep their value."""
-    return conj(Iff(Var(s[i]), Var(t[i])) for i in positions)
-
-
-def at_most_one(parts: List[Formula]) -> Formula:
-    """Pairwise at-most-one constraint over arbitrary formulas."""
-    from repro.formulas.ast import Not, disj
-
-    out = []
-    for i in range(len(parts)):
-        for j in range(i + 1, len(parts)):
-            out.append(disj((Not(parts[i]), Not(parts[j]))))
-    return conj(out)
+__all__ = ["SymbolicModel", "at_most_one", "equal_states", "unchanged"]

@@ -1,8 +1,16 @@
-"""The four parametric model families of the DIA suite (Section VII-C).
+"""Symbolic finite-state models: the substrate and the DIA suite families.
 
-The paper derives parametric versions of four models bundled with NuSMV:
-``counter<N>``, ``ring<N>``, ``dme<N>`` and ``semaphore<N>``. We implement
-the same families from their published descriptions:
+The paper's DIA suite (Section VII-C) computes state-space diameters of
+models bundled with NuSMV, extracting the initial-condition predicate
+``I(s)`` and the transition relation ``T(s, s')`` with NuSMV's BMC tool.
+This module plays that role end to end: :class:`SymbolicModel` is a
+machine over ``num_bits`` boolean state variables that can instantiate
+``I`` and ``T`` over *any* given lists of variable indices — exactly what
+the diameter encoding needs to build the time-unrolled copies
+``x_0 … x_{n+1}`` and ``y_0 … y_n`` — and the concrete families below are
+parametric versions of four models bundled with NuSMV: ``counter<N>``,
+``ring<N>``, ``dme<N>`` and ``semaphore<N>``, implemented from their
+published descriptions:
 
 * :class:`CounterModel` — an N-bit binary counter; the distance from the
   initial state grows as 2^N, which the paper uses to study scaling with
@@ -24,11 +32,10 @@ validated against explicit-state BFS for every size we run.
 
 from __future__ import annotations
 
+import abc
 from typing import List, Sequence
 
 from repro.formulas.ast import (
-    And,
-    FALSE,
     Formula,
     Iff,
     Not,
@@ -38,7 +45,53 @@ from repro.formulas.ast import (
     conj,
     disj,
 )
-from repro.smv.model import SymbolicModel, at_most_one, equal_states, unchanged
+
+
+class SymbolicModel(abc.ABC):
+    """A boolean FSM defined by symbolic ``I`` and ``T`` predicates."""
+
+    #: short identifier used in benchmark labels, e.g. ``counter3``.
+    name: str = "model"
+    #: number of boolean state variables.
+    num_bits: int = 0
+
+    @abc.abstractmethod
+    def init(self, s: Sequence[int]) -> Formula:
+        """``I(s)``: satisfied exactly by the initial states."""
+
+    @abc.abstractmethod
+    def trans(self, s: Sequence[int], t: Sequence[int]) -> Formula:
+        """``T(s, t)``: satisfied exactly when ``t`` is a successor of ``s``."""
+
+    def check_vector(self, s: Sequence[int]) -> None:
+        if len(s) != self.num_bits:
+            raise ValueError(
+                "%s expects %d state bits, got %d" % (self.name, self.num_bits, len(s))
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(bits=%d)" % (self.name, self.num_bits)
+
+
+def equal_states(s: Sequence[int], t: Sequence[int]) -> Formula:
+    """Bitwise equality ``s ≡ t`` (the ``x_{n+1} ≡ y_n`` of equation (14))."""
+    if len(s) != len(t):
+        raise ValueError("state vectors differ in width")
+    return conj(Iff(Var(a), Var(b)) for a, b in zip(s, t))
+
+
+def unchanged(s: Sequence[int], t: Sequence[int], positions: Sequence[int]) -> Formula:
+    """Frame condition: the given bit positions keep their value."""
+    return conj(Iff(Var(s[i]), Var(t[i])) for i in positions)
+
+
+def at_most_one(parts: List[Formula]) -> Formula:
+    """Pairwise at-most-one constraint over arbitrary formulas."""
+    out = []
+    for i in range(len(parts)):
+        for j in range(i + 1, len(parts)):
+            out.append(disj((Not(parts[i]), Not(parts[j]))))
+    return conj(out)
 
 
 class CounterModel(SymbolicModel):

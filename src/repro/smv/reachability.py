@@ -16,7 +16,7 @@ import itertools
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.formulas.ast import evaluate_closed
-from repro.smv.model import SymbolicModel
+from repro.smv.models import SymbolicModel
 
 State = Tuple[bool, ...]
 

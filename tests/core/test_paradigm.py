@@ -1,0 +1,179 @@
+"""The paradigm registry: one Solver protocol, every engine behind it."""
+
+import pytest
+
+from repro.core.engine.config import PARADIGMS, SolverConfig, default_paradigm
+from repro.core.expand import ExpansionSolver
+from repro.core.expansion import evaluate
+from repro.core.formula import paper_example
+from repro.core.paradigm import (
+    Capabilities,
+    CapabilityError,
+    Solver,
+    available_paradigms,
+    get_paradigm,
+    register_paradigm,
+    registry,
+    solve_formula,
+)
+from repro.core.result import Outcome
+from repro.core.simple import QdllReferenceSolver
+from repro.core.solver import SearchSolver, solve
+from repro.robustness.checkpoint import config_digest
+
+
+def _paper():
+    return paper_example()
+
+
+class TestRegistry:
+    def test_every_declared_paradigm_is_registered(self):
+        # The static tuple in config and the dynamic registry must agree:
+        # a paradigm you can configure is a paradigm you can get.
+        assert available_paradigms() == PARADIGMS
+        for name in PARADIGMS:
+            cls = get_paradigm(name)
+            assert issubclass(cls, Solver)
+            assert cls.name == name
+            assert isinstance(cls.capabilities, Capabilities)
+
+    def test_registry_maps_names_to_the_known_classes(self):
+        reg = registry()
+        assert reg["search"] is SearchSolver
+        assert reg["expansion"] is ExpansionSolver
+        assert reg["qdll"] is QdllReferenceSolver
+
+    def test_no_unregistered_solve_entry_points(self):
+        # Every solving engine in repro.core is reachable through the
+        # registry: the orphaned entry points (core.simple.q_dll, the raw
+        # QdpllSolver) are wrapped by registered Solver classes, and the
+        # module-level solve() dispatches on config.paradigm. If someone
+        # adds an engine without registering it, this inventory fails.
+        import repro.core.expand as expand_mod
+        import repro.core.simple as simple_mod
+        import repro.core.solver as solver_mod
+
+        registered = set(registry().values())
+        for mod in (expand_mod, simple_mod, solver_mod):
+            solvers = {
+                obj
+                for obj in vars(mod).values()
+                if isinstance(obj, type)
+                and issubclass(obj, Solver)
+                and obj is not Solver
+            }
+            assert solvers <= registered
+
+    def test_unknown_paradigm_is_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="unknown paradigm"):
+            SolverConfig(paradigm="magic")
+        with pytest.raises(ValueError):
+            get_paradigm("magic")
+        with pytest.raises(ValueError, match="not declared"):
+            register_paradigm(
+                type("Rogue", (ExpansionSolver,), {"name": "rogue"})
+            )
+
+    def test_default_paradigm_reads_the_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARADIGM", raising=False)
+        assert default_paradigm() == "search"
+        monkeypatch.setenv("REPRO_PARADIGM", "expansion")
+        assert default_paradigm() == "expansion"
+        assert SolverConfig().paradigm == "expansion"
+
+    def test_get_paradigm_defaults_to_the_configured_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARADIGM", "qdll")
+        assert get_paradigm() is QdllReferenceSolver
+
+
+class TestCapabilities:
+    def test_flags_are_honest(self):
+        assert SearchSolver.capabilities.proof
+        assert SearchSolver.capabilities.checkpoint
+        assert SearchSolver.capabilities.exchange
+        for cls in (ExpansionSolver, QdllReferenceSolver):
+            assert not cls.capabilities.proof
+            assert not cls.capabilities.checkpoint
+            assert not cls.capabilities.exchange
+            assert cls.capabilities.interrupt
+
+    @pytest.mark.parametrize("paradigm", ["expansion", "qdll"])
+    def test_proof_mismatch_raises(self, paradigm):
+        with pytest.raises(CapabilityError, match="proof"):
+            solve_formula(
+                _paper(), SolverConfig(paradigm=paradigm), proof=object()
+            )
+
+    @pytest.mark.parametrize("paradigm", ["expansion", "qdll"])
+    def test_checkpoint_mismatch_raises(self, paradigm, tmp_path):
+        with pytest.raises(CapabilityError, match="checkpoint"):
+            solve_formula(
+                _paper(),
+                SolverConfig(paradigm=paradigm),
+                checkpoint_to=str(tmp_path / "ck.repro-ckpt"),
+            )
+
+    def test_capability_error_is_a_value_error(self):
+        # The serve daemon's dispatch loop maps ValueError subclasses to
+        # structured protocol errors; CapabilityError must ride that path.
+        err = CapabilityError("expansion", "proof logging")
+        assert isinstance(err, ValueError)
+        assert err.paradigm == "expansion"
+        assert err.capability == "proof logging"
+
+    def test_solve_before_load_raises(self):
+        with pytest.raises(RuntimeError, match="load"):
+            ExpansionSolver(SolverConfig(paradigm="expansion")).solve()
+
+
+class TestDispatch:
+    def test_all_paradigms_agree_on_the_paper_example(self):
+        phi = _paper()
+        truth = evaluate(phi)
+        for name in PARADIGMS:
+            result = solve_formula(phi, SolverConfig(paradigm=name))
+            assert result.outcome is (
+                Outcome.TRUE if truth else Outcome.FALSE
+            ), name
+
+    def test_module_level_solve_dispatches_on_config(self):
+        phi = _paper()
+        baseline = solve(phi)
+        for name in ("expansion", "qdll"):
+            routed = solve(phi, SolverConfig(paradigm=name))
+            assert routed.outcome is baseline.outcome
+
+    def test_solver_records_stats(self):
+        phi = _paper()
+        engine = ExpansionSolver(SolverConfig(paradigm="expansion"))
+        engine.load(phi)
+        result = engine.solve()
+        assert engine.stats is result.stats
+        assert result.stats.decisions > 0
+
+    def test_budget_exhaustion_is_unknown(self):
+        config = SolverConfig(paradigm="expansion", max_decisions=1)
+        result = solve_formula(_paper(), config)
+        assert result.outcome is Outcome.UNKNOWN
+
+    def test_interrupt_flag_is_polled(self):
+        class AlwaysSet:
+            def is_set(self):
+                return True
+
+        result = solve_formula(
+            _paper(),
+            SolverConfig(paradigm="expansion"),
+            interrupt=AlwaysSet(),
+        )
+        assert result.outcome is Outcome.UNKNOWN
+        assert result.interrupted
+
+
+def test_paradigm_is_excluded_from_checkpoint_digests():
+    # A checkpoint written under the default paradigm must stay resumable
+    # regardless of the session's REPRO_PARADIGM: the digest pins only the
+    # search-relevant switches.
+    a = config_digest(SolverConfig(paradigm="search"))
+    b = config_digest(SolverConfig(paradigm="expansion"))
+    assert a == b

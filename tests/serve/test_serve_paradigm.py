@@ -1,0 +1,105 @@
+"""Serve daemon paradigm/portfolio request fields and capability errors."""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.client import request, wait_ready
+from repro.serve.protocol import ProtocolError, parse_paradigm
+
+QD = "p cnf 2 2\ne 1 0\na 2 0\n1 2 0\n1 -2 0\n"
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    socket_path = str(tmp_path / "serve.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [env.get("PYTHONPATH"), os.path.join(os.getcwd(), "src")] if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "run",
+         "--socket", socket_path],
+        env=env,
+    )
+    try:
+        wait_ready(socket_path, timeout=60.0)
+        yield proc, socket_path
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30.0)
+
+
+def test_parse_paradigm_validation():
+    assert parse_paradigm({}) == "search"
+    assert parse_paradigm({"paradigm": "expansion"}) == "expansion"
+    with pytest.raises(ProtocolError):
+        parse_paradigm({"paradigm": "magic"})
+    with pytest.raises(ProtocolError):
+        parse_paradigm({"paradigm": 7})
+
+
+def test_solve_with_paradigm_and_capability_errors(daemon):
+    _, socket_path = daemon
+    good = request(
+        socket_path,
+        {"kind": "solve", "formula": QD, "paradigm": "expansion",
+         "instance": "exp"},
+    )
+    assert good["ok"] and good["outcome"] == "true"
+
+    # certify + a proof-incapable paradigm: structured error, no solve
+    mismatch = request(
+        socket_path,
+        {"kind": "solve", "formula": QD, "paradigm": "expansion",
+         "certify": True, "id": 3},
+    )
+    assert not mismatch["ok"] and mismatch["id"] == 3
+    assert "proof" in mismatch["error"]
+
+    unknown = request(
+        socket_path, {"kind": "solve", "formula": QD, "paradigm": "magic"}
+    )
+    assert not unknown["ok"] and "unknown paradigm" in unknown["error"]
+
+
+def test_portfolio_request(daemon):
+    _, socket_path = daemon
+    result = request(
+        socket_path,
+        {"kind": "portfolio", "formula": QD, "jobs": 1,
+         "budget": {"decisions": 2000}},
+    )
+    assert result["ok"] and result["outcome"] == "true"
+    assert result["winner"] in ("PO", "TO", "EXP")
+    assert "reported" in result
+
+    refused = request(
+        socket_path, {"kind": "portfolio", "formula": QD, "certify": True}
+    )
+    assert not refused["ok"] and "certify" in refused["error"]
+
+    bad_jobs = request(
+        socket_path, {"kind": "portfolio", "formula": QD, "jobs": 0}
+    )
+    assert not bad_jobs["ok"]
+
+
+def test_cube_solve_refuses_checkpoint_incapable_paradigm(daemon):
+    _, socket_path = daemon
+    refused = request(
+        socket_path,
+        {"kind": "cube-solve", "formula": QD, "paradigm": "expansion"},
+    )
+    assert not refused["ok"] and "checkpoint" in refused["error"]
+
+    ok = request(
+        socket_path,
+        {"kind": "cube-solve", "formula": QD, "paradigm": "search",
+         "jobs": 1},
+    )
+    assert ok["ok"] and ok["outcome"] == "true"

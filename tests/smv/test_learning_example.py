@@ -17,7 +17,7 @@ from repro.core.prefix import Prefix
 from repro.core.solver import QdpllSolver, SolverConfig
 from repro.formulas.ast import And, Formula, Not, Var, conj
 from repro.smv.diameter import compute_diameter, diameter_qbf
-from repro.smv.model import SymbolicModel
+from repro.smv.models import SymbolicModel
 from repro.smv.reachability import eccentricity
 
 

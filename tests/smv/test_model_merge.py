@@ -1,0 +1,19 @@
+"""The smv.model / smv.models merge: one module, one set of objects."""
+
+import repro.smv.model as old
+import repro.smv.models as new
+
+
+def test_old_import_path_resolves_to_the_same_objects():
+    # model.py is a deprecation shim over models.py: both import paths
+    # must hand back the *identical* objects, so isinstance checks and
+    # subclass registrations done through either path agree.
+    assert old.SymbolicModel is new.SymbolicModel
+    assert old.equal_states is new.equal_states
+    assert old.unchanged is new.unchanged
+    assert old.at_most_one is new.at_most_one
+
+
+def test_families_subclass_the_shared_base():
+    assert issubclass(new.CounterModel, old.SymbolicModel)
+    assert isinstance(new.model_by_name("counter", 2), old.SymbolicModel)
