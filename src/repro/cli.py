@@ -257,6 +257,7 @@ def cmd_evalx_run(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         faults=faults,
         durable=not args.no_fsync,
+        mem_limit_mb=args.mem_limit,
     )
     filtered_out = None
     if args.suite == "ncf":
@@ -567,13 +568,43 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
     """Run the persistent solver daemon until SIGTERM/SIGINT."""
     from repro.serve import run_daemon
 
+    faults = None
+    if args.fault_plan:
+        from repro.robustness.faults import FaultPlan
+
+        faults = FaultPlan.from_file(args.fault_plan)
     return run_daemon(
         args.socket,
         jobs=args.jobs,
         cache_path=args.cache,
         wall_timeout=args.wall_timeout,
         checkpoint_dir=args.checkpoint_dir,
+        mem_limit_mb=args.mem_limit,
+        faults=faults,
+        max_inflight=args.max_inflight,
+        failure_threshold=args.failure_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
+
+
+def cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """Chaos smoke: drive a fault-injected daemon, check every invariant."""
+    import json
+
+    from repro.serve.chaos import render_report, run_serve_chaos
+
+    report = run_serve_chaos(
+        seed=args.seed,
+        requests=args.requests,
+        mem_limit_mb=args.mem_limit,
+        keep_stats=args.stats_out,
+    )
+    print(render_report(report))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print("report written to %s" % args.output)
+    return 0 if report["passed"] else 1
 
 
 def cmd_serve_request(args: argparse.Namespace) -> int:
@@ -711,7 +742,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_srun.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="directory for preemption checkpoints of "
                         "worker-shard solves")
+    p_srun.add_argument("--mem-limit", type=float, default=None, metavar="MB",
+                        help="per-worker address-space ceiling (RLIMIT_AS) in "
+                        "MiB; a breaching solve returns a structured 'memout' "
+                        "instead of a host-level OOM kill")
+    p_srun.add_argument("--max-inflight", type=int, default=16,
+                        help="admission budget: solve-lane requests in flight "
+                        "before new ones are shed with 'overloaded' "
+                        "(default 16)")
+    p_srun.add_argument("--failure-threshold", type=int, default=3,
+                        help="consecutive crash/hang/memout outcomes before a "
+                        "task key's circuit breaker trips open (default 3)")
+    p_srun.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        help="seconds an open breaker waits before letting a "
+                        "half-open probe through (default 30)")
+    p_srun.add_argument("--fault-plan", default=None, metavar="PLAN.JSON",
+                        help="deterministic fault-injection plan for chaos-"
+                        "testing the serve path (use explicit 'assignments'; "
+                        "see repro.robustness.faults.FaultPlan)")
     p_srun.set_defaults(func=cmd_serve_run)
+    p_schaos = serve_sub.add_parser(
+        "chaos",
+        help="self-contained chaos smoke: boot a fault-injected daemon, "
+        "drive a scripted client battery, verify every answer",
+    )
+    p_schaos.add_argument("--seed", type=int, default=0,
+                          help="fault-plan seed (default 0)")
+    p_schaos.add_argument("--requests", type=int, default=3,
+                          help="rounds of the request battery (default 3)")
+    p_schaos.add_argument("--mem-limit", type=float, default=512.0,
+                          metavar="MB", help="worker memory ceiling for the "
+                          "chaos daemon (default 512)")
+    p_schaos.add_argument("-o", "--output", default=None, metavar="OUT.JSON",
+                          help="also write the machine-readable report here")
+    p_schaos.add_argument("--stats-out", default=None, metavar="STATS.JSON",
+                          help="dump the daemon's post-chaos stats response "
+                          "here (CI uploads this as an artifact)")
+    p_schaos.set_defaults(func=cmd_serve_chaos)
     p_sreq = serve_sub.add_parser(
         "request", help="send one JSON request to a running daemon"
     )
@@ -952,6 +1019,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync", action="store_true",
         help="skip fsync after each results row; faster, but a host crash "
         "can lose or tear the final line",
+    )
+    p_run.add_argument(
+        "--mem-limit", type=float, default=None, metavar="MB",
+        help="per-worker address-space ceiling (RLIMIT_AS) in MiB (jobs > "
+        "1); a breaching run is recorded as status='memout' and never "
+        "retried at the same ceiling",
     )
     p_run.set_defaults(func=cmd_evalx_run)
 

@@ -80,6 +80,10 @@ INITIAL_CUBES_PER_JOB = 16
 SHUTDOWN_GRACE_SECONDS = 5.0
 #: cap on the constraint pool used to seed respawned workers.
 POOL_MAX = 256
+#: crashed-worker replacements tolerated per pool slot before the pool is
+#: allowed to shrink (and, at zero workers, the run gives up).
+MAX_RESPAWNS_PER_JOB = 4
+
 #: crashes tolerated per leaf before it is written off as UNKNOWN.
 MAX_CRASHES = 2
 #: budget doublings tried on an over-budget leaf before re-splitting it.
@@ -117,6 +121,9 @@ class CubeReport:
     resplits: int = 0
     cancelled: int = 0
     crashes: int = 0
+    #: crashed workers actually replaced; stops growing once the respawn
+    #: budget (:data:`MAX_RESPAWNS_PER_JOB` × jobs) is exhausted.
+    respawns: int = 0
     interrupted: bool = False
     share: Dict[str, object] = field(default_factory=dict)
     certificate: Optional[MergeReport] = None
@@ -559,7 +566,14 @@ class _Coordinator:
         self._escalate(node)
 
     def _respawn(self, worker: _Worker) -> None:
-        """Replace a crashed worker process (its queues are abandoned)."""
+        """Replace a crashed worker process (its queues are abandoned).
+
+        Bounded: after :data:`MAX_RESPAWNS_PER_JOB` × ``jobs`` replacements
+        the pool stops respawning and shrinks instead — a poison formula
+        that kills every worker it touches must not fork-bomb the host.
+        When the last worker is gone the main loop gives up and folds what
+        it has (the serve layer then degrades to a scratch solve).
+        """
         proc = worker.proc
         if proc.is_alive():
             proc.terminate()
@@ -571,7 +585,9 @@ class _Coordinator:
             worker.inbox.cancel_join_thread()
             worker.inbox.close()
         self.workers.pop(worker.id, None)
-        self.report.crashes = self.report.crashes  # no-op; kept for clarity
+        if self.report.respawns >= MAX_RESPAWNS_PER_JOB * self.jobs:
+            return  # respawn budget exhausted: let the pool shrink
+        self.report.respawns += 1
         self._spawn_worker()
 
     def _escalate(self, node: SplitNode) -> None:
@@ -665,6 +681,10 @@ class _Coordinator:
                     )
                     self._enqueue(node, resume=resume)
                 if not self.outstanding and not self.pending:
+                    break
+                if not self.workers:
+                    # Respawn budget exhausted and the last worker is dead:
+                    # nothing will ever drain the queue — fold what settled.
                     break
                 self._drain_bus()
                 self._pump_results(shutdown=False, timeout=0.02)

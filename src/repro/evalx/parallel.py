@@ -56,6 +56,11 @@ STATUS_OK = "ok"
 STATUS_CRASH = "crash"
 STATUS_HARD_TIMEOUT = "hard-timeout"
 STATUS_DISAGREEMENT = "disagreement"
+#: the worker breached its address-space ceiling (``mem_limit_mb``). Never
+#: retried: an allocation that failed at this ceiling fails again at this
+#: ceiling, so the record is written immediately (any checkpoint an earlier
+#: attempt salvaged stays on disk for a future run at a higher ceiling).
+STATUS_MEMOUT = "memout"
 
 #: results JSONL schema, in the ``schema`` field of every row. Version 1
 #: rows (no ``schema`` field) predate certification and still load; rows
@@ -385,12 +390,56 @@ class ResultsLog:
 # -- the pool -----------------------------------------------------------------
 
 
+def _apply_worker_rlimits(
+    mem_limit_mb: Optional[float], cpu_limit: Optional[float], flag
+) -> None:
+    """Install per-worker resource ceilings (POSIX; silently off elsewhere).
+
+    ``mem_limit_mb`` caps the address space (``RLIMIT_AS``): an allocation
+    beyond it raises :class:`MemoryError` inside the worker, which
+    :func:`_worker_main` reports as a structured ``memout`` — instead of
+    the kernel OOM-killing the host (or the whole pool's parent).
+
+    ``cpu_limit`` is a *soft* CPU-seconds ceiling: ``SIGXCPU`` is routed to
+    the interrupt flag, so a cooperative solver checkpoints and reports a
+    partial measurement; the hard ceiling a few seconds later is the
+    kernel's non-negotiable SIGKILL backstop for a wedged loop.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return
+    if mem_limit_mb is not None and mem_limit_mb > 0:
+        limit = int(mem_limit_mb * 1024 * 1024)
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        try:
+            resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        except (ValueError, OSError):  # pragma: no cover - exotic rlimits
+            pass
+    if cpu_limit is not None and cpu_limit > 0:
+        soft = max(1, int(cpu_limit))
+        hard_cap = soft + 5
+        _, hard = resource.getrlimit(resource.RLIMIT_CPU)
+        if hard != resource.RLIM_INFINITY:
+            soft = min(soft, hard)
+            hard_cap = min(hard_cap, hard)
+        try:
+            signal.signal(signal.SIGXCPU, flag.set)
+            resource.setrlimit(resource.RLIMIT_CPU, (soft, hard_cap))
+        except (ValueError, OSError):  # pragma: no cover - exotic rlimits
+            pass
+
+
 def _worker_main(
     task: Task,
     executor: Callable[[Task], Measurement],
     conn,
     attempt: int = 1,
     faults: Optional[FaultPlan] = None,
+    mem_limit_mb: Optional[float] = None,
+    cpu_limit: Optional[float] = None,
 ) -> None:
     """Worker body: run the task, ship the result (or the traceback) back.
 
@@ -398,6 +447,13 @@ def _worker_main(
     parent-side preemption lets the solver flush a checkpoint and report a
     partial measurement instead of dying mid-search; an executor that never
     polls the flag is covered by the parent's SIGKILL escalation.
+
+    With ``mem_limit_mb`` set, the worker's address space is capped before
+    the task runs; a :class:`MemoryError` (from the ceiling or from the
+    solver itself) is reported as a ``memout`` — a structured failure the
+    parent records without retrying — rather than a generic crash. The
+    report message is built without ``traceback.format_exc()``: under
+    genuine memory pressure the formatting allocation itself can die.
 
     ``KeyboardInterrupt``/``SystemExit`` are reported as a crash record but
     then *re-raised*: swallowing them would leave the worker running after
@@ -414,11 +470,24 @@ def _worker_main(
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     signal.signal(signal.SIGTERM, flag.set)
+    _apply_worker_rlimits(mem_limit_mb, cpu_limit, flag)
     try:
         if faults is not None:
             faults.on_worker_start(task, attempt)
         measurement = executor(task)
         conn.send((STATUS_OK, measurement_to_dict(measurement)))
+    except MemoryError as exc:
+        try:
+            conn.send((
+                STATUS_MEMOUT,
+                "worker exceeded its memory ceiling%s: %s"
+                % (
+                    " (%.0f MiB)" % mem_limit_mb if mem_limit_mb else "",
+                    exc,
+                ),
+            ))
+        except Exception:
+            pass  # parent sees the dead process and records a crash
     except BaseException as exc:
         try:
             conn.send((STATUS_CRASH, traceback.format_exc()))
@@ -497,6 +566,8 @@ def run_tasks(
     faults: Optional[FaultPlan] = None,
     checkpoint_dir: Optional[str] = None,
     durable: bool = True,
+    mem_limit_mb: Optional[float] = None,
+    cpu_limit: Optional[float] = None,
 ) -> List[Record]:
     """Run ``tasks`` and return one :class:`Record` per task, in task order.
 
@@ -530,6 +601,15 @@ def run_tasks(
             onto every task (see :attr:`Task.checkpoint_dir`).
         durable: fsync the results log after each append (see
             :class:`ResultsLog`).
+        mem_limit_mb: per-worker address-space ceiling in MiB (POSIX,
+            ``jobs > 1`` only — a process cannot safely cap itself while
+            holding the whole sweep's state). A worker that breaches it
+            produces a ``memout`` record instead of a host-level OOM kill;
+            memouts are never retried.
+        cpu_limit: soft per-worker CPU-seconds ceiling (POSIX, ``jobs > 1``
+            only); SIGXCPU flips the worker's interrupt flag so a
+            cooperative solver checkpoints, with a kernel SIGKILL backstop
+            a few seconds later.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -583,6 +663,8 @@ def run_tasks(
             term_grace,
             retry_backoff,
             faults,
+            mem_limit_mb,
+            cpu_limit,
         )
 
     if log is not None and not isinstance(results, ResultsLog):
@@ -613,6 +695,19 @@ def _run_serial(
             if faults is not None:
                 faults.on_worker_start(task, attempts)
             measurement = executor(task)
+        except MemoryError as exc:
+            # Deterministic failure: the same allocation fails the same way
+            # on a retry, so record the memout immediately.
+            return Record(
+                instance=task.instance,
+                solver=task.solver,
+                fingerprint=task.fingerprint(),
+                status=STATUS_MEMOUT,
+                measurement=_failure_measurement(task, time.monotonic() - start),
+                attempts=attempts,
+                error="solver ran out of memory: %s" % exc,
+                backoff=backoff_spent,
+            )
         except Exception:
             if attempts <= max_retries:
                 delay = _backoff_delay(retry_backoff, task.key, attempts)
@@ -652,6 +747,8 @@ def _run_pool(
     term_grace: float = 2.0,
     retry_backoff: float = 0.5,
     faults: Optional[FaultPlan] = None,
+    mem_limit_mb: Optional[float] = None,
+    cpu_limit: Optional[float] = None,
 ) -> None:
     ctx = _mp_context()
     queue: List[_Pending] = list(pending)
@@ -661,7 +758,10 @@ def _run_pool(
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_main,
-            args=(entry.task, executor, child_conn, entry.attempt, faults),
+            args=(
+                entry.task, executor, child_conn, entry.attempt, faults,
+                mem_limit_mb, cpu_limit,
+            ),
             daemon=True,
         )
         process.start()

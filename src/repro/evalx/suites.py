@@ -125,6 +125,7 @@ def _run_batch(
     wall_timeout: Optional[float],
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
+    mem_limit_mb: Optional[float] = None,
 ) -> Dict[Tuple[str, str], Measurement]:
     records = run_tasks(
         tasks,
@@ -133,6 +134,7 @@ def _run_batch(
         wall_timeout=wall_timeout,
         checkpoint_dir=checkpoint_dir,
         faults=faults,
+        mem_limit_mb=mem_limit_mb,
     )
     return measurements_by_key(records)
 
@@ -181,6 +183,7 @@ def run_ncf(
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
+    mem_limit_mb: Optional[float] = None,
 ) -> List[PairResult]:
     """Run QUBE(TO) under each strategy and QUBE(PO) on the NCF sweep."""
     overrides = _config_overrides(engine, paradigm)
@@ -198,7 +201,10 @@ def run_ncf(
                               overrides=overrides, certify=certify))
             meta.append((params.label, setting))
     with_log = _open_log(results_path, durable=durable, faults=faults)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
+    by_key = _run_batch(
+        tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults,
+        mem_limit_mb,
+    )
     results: List[PairResult] = []
     for label, setting in meta:
         to_runs = {s: by_key[(label, "TO(%s)" % s)] for s in strategies}
@@ -247,6 +253,7 @@ def run_fpv(
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
+    mem_limit_mb: Optional[float] = None,
 ) -> List[PairResult]:
     """Run the FPV suite with the ∃↑∀↑ strategy (the paper's choice)."""
     overrides = _config_overrides(engine, paradigm)
@@ -260,7 +267,10 @@ def run_fpv(
                           overrides=overrides, certify=certify))
         labels.append(params.label)
     with_log = _open_log(results_path, durable=durable, faults=faults)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
+    by_key = _run_batch(
+        tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults,
+        mem_limit_mb,
+    )
     results: List[PairResult] = []
     for label in labels:
         to_run = by_key[(label, "TO(%s)" % strategy)]
@@ -323,6 +333,7 @@ def run_dia(
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
+    mem_limit_mb: Optional[float] = None,
 ) -> List[PairResult]:
     """Run TO/PO on every DIA instance (prenex form == equation (16))."""
     overrides = _config_overrides(engine, paradigm)
@@ -338,7 +349,10 @@ def run_dia(
                           overrides=overrides, certify=certify))
         labels.append(label)
     with_log = _open_log(results_path, durable=durable, faults=faults)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
+    by_key = _run_batch(
+        tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults,
+        mem_limit_mb,
+    )
     results: List[PairResult] = []
     for label in labels:
         po_run = by_key[(label, "PO")]
@@ -480,6 +494,7 @@ def run_eval06(
     checkpoint_dir: Optional[str] = None,
     faults: Optional["FaultPlan"] = None,
     durable: bool = True,
+    mem_limit_mb: Optional[float] = None,
 ) -> Tuple[List[PairResult], int]:
     """The Figure-7 pipeline: miniscope, filter by PO/TO ratio, compare.
 
@@ -504,7 +519,10 @@ def run_eval06(
                           overrides=overrides, certify=certify))
         labels.append(label)
     with_log = _open_log(results_path, durable=durable, faults=faults)
-    by_key = _run_batch(tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults)
+    by_key = _run_batch(
+        tasks, jobs, with_log, wall_timeout, checkpoint_dir, faults,
+        mem_limit_mb,
+    )
     results: List[PairResult] = []
     for label in labels:
         to_run = by_key[(label, "TO(eu_au)")]

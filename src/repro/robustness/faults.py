@@ -24,10 +24,21 @@ Fault kinds and where they fire:
   exercises cross-paradigm disagreement detection and certificate triage.
   Unlike the worker-side faults it fires on *every* arrival of the label
   (the triage re-solve bypasses the plan, so it still sees the truth).
+* ``worker-oom`` — the worker raises :class:`MemoryError` before solving,
+  exactly what an allocation hitting the ``RLIMIT_AS`` ceiling looks like;
+  exercises the ``memout`` record classification and — at the serve layer —
+  the circuit breaker that trips a repeatedly OOMing key. Unlike ``crash``
+  it fires on *every* attempt: real memory blowups are deterministic, so a
+  retry at the same ceiling must not quietly make the fault disappear.
+* ``stuck-family`` — consulted by the serve daemon before an in-process
+  SMV family solve; the solve stalls past the request deadline (one-shot
+  per label), exercising stuck-solver detection, the family restart
+  backoff, and the fall-back-to-scratch degradation path.
 
-Worker-side faults key off ``attempt == 1`` so recovery, not the fault,
-decides the final record; the torn append is one-shot per label within the
-process that owns the plan object.
+Worker-side faults other than ``worker-oom`` key off ``attempt == 1`` so
+recovery, not the fault, decides the final record; the torn append and the
+stuck family are one-shot per label within the process that owns the plan
+object.
 """
 
 from __future__ import annotations
@@ -41,7 +52,12 @@ HANG = "hang"
 TORN_APPEND = "torn-append"
 TORN_CHECKPOINT = "torn-checkpoint"
 FLIP_VERDICT = "flip-verdict"
-KINDS = (CRASH, HANG, TORN_APPEND, TORN_CHECKPOINT, FLIP_VERDICT)
+WORKER_OOM = "worker-oom"
+STUCK_FAMILY = "stuck-family"
+KINDS = (
+    CRASH, HANG, TORN_APPEND, TORN_CHECKPOINT, FLIP_VERDICT, WORKER_OOM,
+    STUCK_FAMILY,
+)
 
 
 class InjectedFault(RuntimeError):
@@ -65,6 +81,8 @@ class FaultPlan:
         torn_appends: int = 0,
         torn_checkpoints: int = 0,
         flip_verdicts: int = 0,
+        worker_ooms: int = 0,
+        stuck_families: int = 0,
         hang_seconds: float = 3600.0,
         assignments: Optional[Dict[str, str]] = None,
     ):
@@ -74,6 +92,8 @@ class FaultPlan:
         self.torn_appends = torn_appends
         self.torn_checkpoints = torn_checkpoints
         self.flip_verdicts = flip_verdicts
+        self.worker_ooms = worker_ooms
+        self.stuck_families = stuck_families
         self.hang_seconds = hang_seconds
         self.assignments: Optional[Dict[str, str]] = (
             dict(assignments) if assignments is not None else None
@@ -83,6 +103,7 @@ class FaultPlan:
                 if kind not in KINDS:
                     raise ValueError("unknown fault kind %r for %r" % (kind, label))
         self._torn_done: Set[str] = set()
+        self._stuck_done: Set[str] = set()
 
     @staticmethod
     def label(task) -> str:
@@ -105,6 +126,8 @@ class FaultPlan:
             + [TORN_APPEND] * self.torn_appends
             + [TORN_CHECKPOINT] * self.torn_checkpoints
             + [FLIP_VERDICT] * self.flip_verdicts
+            + [WORKER_OOM] * self.worker_ooms
+            + [STUCK_FAMILY] * self.stuck_families
         )
         rng = random.Random(self.seed)
         victims = rng.sample(ordered, min(len(wanted), len(ordered)))
@@ -119,9 +142,15 @@ class FaultPlan:
 
     def on_worker_start(self, task, attempt: int) -> None:
         """Worker-side faults, fired before the task executes."""
+        kind = self.kind_for(self.label(task))
+        if kind == WORKER_OOM:
+            # Fires on every attempt: a real allocation that breaches the
+            # address-space ceiling fails deterministically, retry or not.
+            raise MemoryError(
+                "injected allocation failure for %s" % self.label(task)
+            )
         if attempt != 1:
             return
-        kind = self.kind_for(self.label(task))
         if kind == CRASH:
             raise InjectedFault("injected crash for %s" % self.label(task))
         if kind == HANG:
@@ -149,6 +178,14 @@ class FaultPlan:
             return True
         return False
 
+    def stuck_family(self, label: str) -> bool:
+        """Should this in-process family solve stall? One-shot per label,
+        so the restarted family solver answers the retry honestly."""
+        if self.kind_for(label) == STUCK_FAMILY and label not in self._stuck_done:
+            self._stuck_done.add(label)
+            return True
+        return False
+
     # -- (de)serialization for the CLI -------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -159,6 +196,8 @@ class FaultPlan:
             "torn_appends": self.torn_appends,
             "torn_checkpoints": self.torn_checkpoints,
             "flip_verdicts": self.flip_verdicts,
+            "worker_ooms": self.worker_ooms,
+            "stuck_families": self.stuck_families,
             "hang_seconds": self.hang_seconds,
         }
         if self.assignments is not None:
@@ -174,6 +213,8 @@ class FaultPlan:
             torn_appends=int(data.get("torn_appends", 0)),
             torn_checkpoints=int(data.get("torn_checkpoints", 0)),
             flip_verdicts=int(data.get("flip_verdicts", 0)),
+            worker_ooms=int(data.get("worker_ooms", 0)),
+            stuck_families=int(data.get("stuck_families", 0)),
             hang_seconds=float(data.get("hang_seconds", 3600.0)),
             assignments=data.get("assignments"),
         )

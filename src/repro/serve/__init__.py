@@ -16,9 +16,25 @@ ResultsLog`. Every solve-lane request runs under a per-request wall-clock
 DEFAULT_DEADLINE_SECONDS`), so an unsolvable request comes back as a
 structured error instead of a hung connection; oversized formulas are
 rejected at the protocol layer.
+
+The execution lanes run under the supervision layer in :mod:`repro.serve.
+supervisor`: bounded admission (structured ``overloaded`` sheds with a
+``retry_after`` hint), per-key circuit breakers (``poisoned`` refusals
+after repeated crash/hang/memout outcomes), per-worker memory ceilings
+(``--mem-limit`` → ``memout`` records), and graceful degradation to
+scratch solves while a dead family solver or cube pool recovers.
 """
 
-from repro.serve.client import request, wait_ready
-from repro.serve.daemon import ServeDaemon, run_daemon
+from repro.serve.client import request, request_with_retry, wait_ready
+from repro.serve.daemon import ServeDaemon, claim_socket_path, run_daemon
+from repro.serve.supervisor import Supervisor
 
-__all__ = ["ServeDaemon", "request", "run_daemon", "wait_ready"]
+__all__ = [
+    "ServeDaemon",
+    "Supervisor",
+    "claim_socket_path",
+    "request",
+    "request_with_retry",
+    "run_daemon",
+    "wait_ready",
+]

@@ -32,6 +32,35 @@ def request(
         return json.loads(buf.decode("utf-8"))
 
 
+def request_with_retry(
+    socket_path: str,
+    payload: Dict[str, object],
+    timeout: float = 300.0,
+    attempts: int = 4,
+    max_backoff: float = 5.0,
+) -> Dict[str, object]:
+    """Send one request, honouring the daemon's backpressure.
+
+    ``overloaded`` (admission shed) and ``stuck`` (family being restarted)
+    responses carry a ``retry_after`` hint; sleep that long — capped at
+    ``max_backoff`` so a pathological hint cannot park the client — and try
+    again, up to ``attempts`` times. Every other response (including
+    ``poisoned``, whose cooldown is typically much longer than a client
+    wants to wait) is returned as-is; so is the final over-budget one.
+    """
+    last: Dict[str, object] = {}
+    for attempt in range(max(1, attempts)):
+        last = request(socket_path, payload, timeout=timeout)
+        if last.get("ok") or last.get("status") not in ("overloaded", "stuck"):
+            return last
+        if attempt + 1 < max(1, attempts):
+            hint = last.get("retry_after", 0.5)
+            if not isinstance(hint, (int, float)) or hint < 0:
+                hint = 0.5
+            time.sleep(min(float(hint), max_backoff))
+    return last
+
+
 def wait_ready(
     socket_path: str, timeout: float = 30.0, poll: float = 0.05
 ) -> None:

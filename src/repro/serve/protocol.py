@@ -53,6 +53,29 @@ Responses always carry ``ok``; successful solve responses add ``outcome``,
 ``decisions``, ``seconds``, ``cached`` (verdict served from the fingerprint
 cache) and — for smv requests — ``incremental`` (the family solver had
 prior state) and ``retained`` (constraints transferred into this solve).
+A response solved on a degradation path (scratch solver while a family
+restarts; one-shot fallback after a crash-degraded cube run) additionally
+carries ``degraded: true``.
+
+Failure responses are always structured — ``{"ok": false, "status": ...,
+"error": ...}`` — and the supervision layer adds three statuses beyond
+``deadline``:
+
+``overloaded``
+    the daemon's bounded in-flight budget (total or per-kind) was full;
+    the request was shed at admission, nothing ran. Carries
+    ``retry_after`` (seconds, a coarse hint) and ``dimension`` (``total``
+    or the kind whose budget was full).
+``poisoned``
+    this request's task key or SMV family has failed repeatedly and its
+    circuit breaker is open; refused without running. Carries
+    ``retry_after`` (seconds until the next half-open probe window) and
+    ``last_failure`` (``{"status", "error"}`` of the failure that tripped
+    the breaker).
+``memout`` / ``stuck``
+    the worker breached its ``--mem-limit`` address-space ceiling, or an
+    in-process family solve outlived its deadline and was abandoned (the
+    family restarts with backoff; ``retry_after`` rides along).
 """
 
 from __future__ import annotations
@@ -157,6 +180,32 @@ def error_response(message: str, request_id: Optional[object] = None) -> Dict[st
     if request_id is not None:
         out["id"] = request_id
     return out
+
+
+def overloaded_response(exc) -> Dict[str, object]:
+    """Structured shed: built from a :class:`repro.serve.supervisor.
+    OverloadedError`; the client should back off ``retry_after`` seconds."""
+    return {
+        "ok": False,
+        "status": "overloaded",
+        "error": str(exc),
+        "retry_after": exc.retry_after,
+        "dimension": exc.dimension,
+        "protocol": PROTOCOL_VERSION,
+    }
+
+
+def poisoned_response(exc) -> Dict[str, object]:
+    """Structured breaker refusal: built from a :class:`repro.serve.
+    supervisor.PoisonedError`, with the tripping failure attached."""
+    return {
+        "ok": False,
+        "status": "poisoned",
+        "error": str(exc),
+        "retry_after": exc.retry_after,
+        "last_failure": exc.last_failure,
+        "protocol": PROTOCOL_VERSION,
+    }
 
 
 def validate_smv_request(req: Dict[str, object]) -> Tuple[str, int, int]:

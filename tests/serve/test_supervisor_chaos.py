@@ -1,0 +1,251 @@
+"""Chaos property suite for the supervised daemon, in-process.
+
+The daemon object is driven directly through ``dispatch()`` — no
+subprocess, no socket — with deterministic fault assignments. The
+properties under test:
+
+* every request returns a correct verdict or a *structured* error
+  (``overloaded`` / ``poisoned`` / ``memout`` / ``stuck`` / ``deadline``
+  / a failure status with an ``error`` string) — never a hang, never a
+  wrong verdict;
+* supervisor stats reconcile with what the client observed;
+* the verdict cache never absorbs a failure record.
+
+Every dispatch is wrapped in ``asyncio.wait_for`` so a supervision bug
+shows up as a test failure, not a wedged test run.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.robustness.faults import FaultPlan
+from repro.robustness.interrupt import InterruptFlag
+from repro.serve.daemon import ServeDaemon
+
+# Verdicts known by construction (same instances the serve tests use).
+TRUE_QD = "p cnf 2 2\ne 1 0\na 2 0\n1 2 0\n1 -2 0\n"
+FALSE_QD = "p cnf 1 1\na 1 0\n1 0\n"
+
+#: statuses that count as structured (deliberate) failures.
+STRUCTURED = ("overloaded", "poisoned", "memout", "stuck", "deadline",
+              "crash", "hard-timeout")
+
+#: generous guard on every dispatch: a request that takes this long has
+#: violated the no-hang property.
+GUARD_SECONDS = 30.0
+
+
+def make_daemon(tmp_path, faults=None, **kwargs):
+    kwargs.setdefault("max_inflight", 4)
+    kwargs.setdefault("failure_threshold", 2)
+    kwargs.setdefault("breaker_cooldown", 300.0)
+    kwargs.setdefault("restart_backoff", 60.0)
+    kwargs.setdefault("stuck_grace", 0.2)
+    kwargs.setdefault("interrupt", InterruptFlag())
+    return ServeDaemon(
+        socket_path=str(tmp_path / "chaos.sock"),
+        cache_path=str(tmp_path / "cache.jsonl"),
+        faults=faults,
+        **kwargs,
+    )
+
+
+def ask(daemon, *requests):
+    """Dispatch requests sequentially inside one event loop, guarded."""
+
+    async def drive():
+        out = []
+        for req in requests:
+            out.append(
+                await asyncio.wait_for(daemon.dispatch(dict(req)), GUARD_SECONDS)
+            )
+        return out
+
+    try:
+        return asyncio.run(drive())
+    finally:
+        daemon._interrupt.set()  # release any abandoned family thread
+        daemon._pool.shutdown(wait=False)
+
+
+def check_structured(resp):
+    """The core property: a response is an answer or a structured refusal."""
+    assert isinstance(resp, dict)
+    assert "ok" in resp
+    if not resp["ok"]:
+        assert resp.get("status") in STRUCTURED, resp
+        assert isinstance(resp.get("error"), str) and resp["error"], resp
+    return resp
+
+
+def solve_req(instance, formula=TRUE_QD, **extra):
+    req = {"kind": "solve", "instance": instance, "formula": formula,
+           "deadline": 20.0}
+    req.update(extra)
+    return req
+
+
+def smv_req(n=0, deadline=20.0):
+    return {"kind": "smv-diameter", "family": "counter", "size": 2, "n": n,
+            "deadline": deadline}
+
+
+class TestVerdictsSurviveFaults:
+    def test_clean_requests_get_correct_verdicts(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        true_resp, false_resp = ask(
+            daemon, solve_req("t"), solve_req("f", FALSE_QD)
+        )
+        assert check_structured(true_resp)["outcome"] == "true"
+        assert check_structured(false_resp)["outcome"] == "false"
+
+    def test_crash_fault_is_masked_by_retry(self, tmp_path):
+        plan = FaultPlan(assignments={"crashy|PO": "crash"})
+        daemon = make_daemon(tmp_path, faults=plan)
+        (resp,) = ask(daemon, solve_req("crashy"))
+        # A first-attempt crash is retried; the verdict is still correct.
+        assert check_structured(resp)["ok"]
+        assert resp["outcome"] == "true"
+
+    def test_flip_verdict_is_caught_not_served(self, tmp_path):
+        # A flipped verdict must never reach the client as a confident
+        # wrong answer: the redundancy check downgrades it.
+        plan = FaultPlan(assignments={"liar|PO": "flip-verdict"})
+        daemon = make_daemon(tmp_path, faults=plan)
+        (resp,) = ask(daemon, solve_req("liar"))
+        check_structured(resp)
+        if resp["ok"]:
+            assert resp["outcome"] in ("true", "unknown")
+        assert resp.get("outcome") != "false"
+
+
+class TestMemoutAndPoisoning:
+    def test_oom_becomes_memout_then_poisoned(self, tmp_path):
+        plan = FaultPlan(assignments={"fat|PO": "worker-oom"})
+        daemon = make_daemon(tmp_path, faults=plan, failure_threshold=2)
+        r1, r2, r3 = ask(
+            daemon, solve_req("fat"), solve_req("fat"), solve_req("fat")
+        )
+        for resp in (r1, r2):
+            check_structured(resp)
+            assert resp["status"] == "memout"
+        # Two consecutive memouts trip the key's breaker: the third
+        # request is refused without spawning a worker.
+        check_structured(r3)
+        assert r3["status"] == "poisoned"
+        assert r3["last_failure"]["status"] == "memout"
+        assert r3["retry_after"] > 0
+        snap = daemon.supervisor.snapshot()
+        assert snap["memouts"] == 2
+        assert snap["poisoned"] == 1
+        assert snap["breakers"]["open"] == 1
+
+    def test_failures_never_enter_the_cache(self, tmp_path):
+        plan = FaultPlan(assignments={"fat|PO": "worker-oom"})
+        daemon = make_daemon(tmp_path, faults=plan)
+        r1, r2 = ask(daemon, solve_req("fat"), solve_req("ok-too"))
+        assert r1["status"] == "memout"
+        assert r2["ok"]
+        cached = list(daemon._cache)
+        assert [k[0] for k in cached] == ["ok-too"]
+
+    def test_other_keys_are_unaffected_by_an_open_breaker(self, tmp_path):
+        plan = FaultPlan(assignments={"fat|PO": "worker-oom"})
+        daemon = make_daemon(tmp_path, faults=plan, failure_threshold=1)
+        r1, r2, r3 = ask(
+            daemon, solve_req("fat"), solve_req("fat"), solve_req("healthy")
+        )
+        assert r1["status"] == "memout"
+        assert r2["status"] == "poisoned"
+        assert check_structured(r3)["outcome"] == "true"
+
+
+class TestOverload:
+    def test_burst_beyond_budget_sheds_with_retry_after(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_inflight=1)
+
+        async def burst():
+            reqs = [solve_req("burst-%d" % i) for i in range(4)]
+            return await asyncio.wait_for(
+                asyncio.gather(*[daemon.dispatch(r) for r in reqs]),
+                GUARD_SECONDS,
+            )
+
+        try:
+            responses = asyncio.run(burst())
+        finally:
+            daemon._pool.shutdown(wait=False)
+        for resp in responses:
+            check_structured(resp)
+        shed = [r for r in responses if r.get("status") == "overloaded"]
+        served = [r for r in responses if r["ok"]]
+        assert served, "at least one request must be admitted"
+        assert shed, "a 4-deep burst against a budget of 1 must shed"
+        for resp in shed:
+            assert resp["retry_after"] > 0
+            assert resp["dimension"] in ("total", "solve")
+        snap = daemon.supervisor.snapshot()
+        assert snap["admission"]["shed_total"] == len(shed)
+        assert snap["admission"]["inflight"] == 0  # all slots released
+
+    def test_control_requests_bypass_admission(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_inflight=1)
+        ping, stats = ask(daemon, {"kind": "ping"}, {"kind": "stats"})
+        assert ping["ok"] and ping["pong"]
+        assert stats["ok"] and "supervisor" in stats
+
+
+class TestStuckFamily:
+    def test_wedged_family_is_abandoned_then_served_degraded(self, tmp_path):
+        plan = FaultPlan(
+            assignments={"family:counter2": "stuck-family"}, hang_seconds=5.0
+        )
+        daemon = make_daemon(tmp_path, faults=plan, restart_backoff=60.0)
+        stuck, degraded = ask(
+            daemon, smv_req(n=0, deadline=0.5), smv_req(n=0, deadline=20.0)
+        )
+        check_structured(stuck)
+        assert stuck["status"] == "stuck"
+        assert stuck["retry_after"] > 0
+        assert "counter2" not in daemon._families  # family was dropped
+        # Second request lands in the restart backoff window: degraded
+        # scratch solve, correct verdict, no family rebuilt.
+        assert check_structured(degraded)["ok"]
+        assert degraded["outcome"] == "true"
+        assert degraded.get("degraded") is True
+        assert "counter2" not in daemon._families
+        snap = daemon.supervisor.snapshot()
+        assert snap["degraded_solves"] == 1
+        assert snap["family_deaths_pending"] == 1
+
+
+class TestStatsReconcile:
+    def test_counters_match_observed_responses(self, tmp_path):
+        plan = FaultPlan(assignments={"fat|PO": "worker-oom"})
+        daemon = make_daemon(tmp_path, faults=plan, failure_threshold=1)
+        responses = ask(
+            daemon,
+            solve_req("a"),
+            solve_req("fat"),
+            solve_req("fat"),
+            solve_req("a"),  # cache hit
+            solve_req("b", FALSE_QD),
+        )
+        seen = {"memout": 0, "poisoned": 0, "ok": 0, "cached": 0}
+        for resp in responses:
+            check_structured(resp)
+            status = resp.get("status")
+            if status in ("memout", "poisoned"):
+                seen[status] += 1
+            if resp["ok"]:
+                seen["ok"] += 1
+            if resp.get("cached"):
+                seen["cached"] += 1
+        assert seen == {"memout": 1, "poisoned": 1, "ok": 3, "cached": 1}
+        snap = daemon.supervisor.snapshot()
+        assert snap["memouts"] == seen["memout"]
+        assert snap["poisoned"] == seen["poisoned"]
+        assert snap["admission"]["shed_total"] == 0
+        assert snap["admission"]["inflight"] == 0
+        assert daemon.stats["cache_hits"] == seen["cached"]
