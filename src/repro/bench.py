@@ -2,15 +2,20 @@
 
 Runs the pinned Figure-6 counter series (the same instances, budget and
 double-timeout stopping rule as ``repro.evalx.suites.run_dia_scaling``)
-under every propagation backend, with the pure-literal rule both on and
-off, and emits a schema-versioned ``BENCH_kernels.json``:
+under every propagation backend this build can run — counters, watched,
+and the compiled native kernel when built — with the pure-literal rule
+both on and off, and emits a schema-versioned ``BENCH_kernels.json``:
 
 * throughput per configuration — decisions/sec, propagations/sec,
   clause_visits/sec — plus wall-clock for the whole series;
 * a per-run decision log, verified decision-for-decision against the
   counter backend (the eager reference engine);
 * the recorded pre-kernel baseline (PR 3's layered engine, measured on
-  the identical series) with the wall-clock speedup next to it.
+  the identical series) with the wall-clock speedup next to it, and the
+  native kernel's decisions/sec speedup over the same-run watched rows;
+* a ``kernel`` block recording whether the compiled extension was
+  importable — a missing kernel is reported as an explicit fallback to
+  the watched rows, never silently.
 
 The series is fully deterministic — pinned models, decision-only budgets —
 so the *decision* columns of two reports are comparable across machines
@@ -29,6 +34,11 @@ import json
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.engine.native import (
+    kernel_version,
+    native_available,
+    native_import_error,
+)
 from repro.evalx.runner import Budget, Measurement, solve_po
 
 #: bump on any change to the JSON layout so downstream tooling can dispatch.
@@ -151,7 +161,7 @@ def _profile_series(kwargs: dict, top: int = 15) -> Tuple[Tuple[List[dict], floa
 def run_bench(
     quick: bool = False,
     profile: bool = False,
-    engines: Sequence[str] = ("counters", "watched"),
+    engines: Optional[Sequence[str]] = None,
     pure_modes: Sequence[bool] = (True, False),
 ) -> dict:
     """Run every (engine, pure) configuration; verify decision identity.
@@ -161,9 +171,31 @@ def run_bench(
     against, run by run. A mismatch is a broken engine contract and raises
     immediately — a benchmark that silently timed different search trees
     would be meaningless.
+
+    ``engines`` defaults to every backend this build can run: counters,
+    watched, and native when the compiled kernel is importable. A missing
+    kernel is never silent: the report's ``kernel`` block records the
+    import error and that the native rows fell back to ``watched`` (i.e.
+    are absent — the watched rows ARE the fallback measurement).
     """
     series = dict(QUICK_SERIES if quick else FULL_SERIES)
+    if engines is None:
+        # Ask for all three; the fallback branch below records (never
+        # hides) a native row that this build cannot produce.
+        engines = ["counters", "watched", "native"]
     engines = list(engines)
+    kernel = {
+        "available": native_available(),
+        "version": kernel_version(),
+        "import_error": native_import_error(),
+    }
+    if "native" in engines and not native_available():
+        # loud skip, mirroring SolverStats.engine_fallback: the watched rows
+        # stand in for native, and the report says so explicitly.
+        engines = [e for e in engines if e != "native"]
+        if "watched" not in engines:
+            engines.append("watched")
+        kernel["fallback"] = "watched"
     if "counters" not in engines:
         engines.insert(0, "counters")
     else:  # reference first, so every later engine has something to check
@@ -208,12 +240,31 @@ def run_bench(
         "series": {"family": "counter", **series},
         "reference_engine": "counters",
         "decision_identity_ok": identity_ok,
+        "kernel": kernel,
+        "native_speedup_vs_watched": _native_speedups(configs),
         "baseline": {"label": PR3_BASELINE_LABEL, "configs": PR3_BASELINE},
         "configs": configs,
     }
     if not identity_ok:
         raise EngineDivergence(report)
     return report
+
+
+def _native_speedups(configs: List[dict]) -> Optional[Dict[str, float]]:
+    """decisions/sec ratio of the native rows over the watched rows.
+
+    Same decisions by the identity contract, so the throughput ratio IS the
+    wall speedup of the solving itself. None when native didn't run.
+    """
+    by_key = {c["key"]: c for c in configs}
+    out = {}
+    for key, c in by_key.items():
+        if c["engine"] != "native":
+            continue
+        watched = by_key.get(config_key("watched", c["pure_literals"]))
+        if watched and watched["decisions_per_second"] > 0:
+            out[key] = c["decisions_per_second"] / watched["decisions_per_second"]
+    return out or None
 
 
 class EngineDivergence(AssertionError):
@@ -280,6 +331,19 @@ def render_report(report: dict) -> str:
     lines.append("")
     lines.append("decision identity vs %s backend: %s"
                  % (report["reference_engine"], verdict))
+    kernel = report.get("kernel") or {}
+    if kernel.get("available"):
+        lines.append("native kernel: available (version %s)" % kernel.get("version"))
+    else:
+        lines.append(
+            "native kernel: UNAVAILABLE (%s) — native rows fell back to watched"
+            % kernel.get("import_error")
+        )
+    speedups = report.get("native_speedup_vs_watched")
+    if speedups:
+        for key in sorted(speedups):
+            lines.append("native speedup vs watched (%s): %.2fx decisions/sec"
+                         % (key.split("/", 1)[1], speedups[key]))
     if any(c.get("baseline") for c in report["configs"]):
         lines.append("baseline: %s" % PR3_BASELINE_LABEL)
     return "\n".join(lines)

@@ -164,7 +164,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
     print("result      %s" % result.outcome.value.upper())
     print("paradigm    %s" % config.paradigm)
     if config.paradigm == "search":
-        print("engine      %s" % config.engine)
+        if stats.engine_fallback:
+            print("engine      %s (FELL BACK to %s: compiled kernel unavailable)"
+                  % (config.engine, stats.engine_fallback))
+        else:
+            print("engine      %s" % config.engine)
     print("decisions   %d" % stats.decisions)
     print("conflicts   %d" % stats.conflicts)
     print("solutions   %d" % stats.solutions)
@@ -702,8 +706,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="kernel benchmark: pinned fig6 series, both engines, "
-        "decision-identity check, schema-versioned JSON report",
+        help="kernel benchmark: pinned fig6 series, every available engine "
+        "(counters/watched/native), decision-identity check, "
+        "schema-versioned JSON report",
     )
     p_bench.add_argument(
         "--quick", action="store_true",

@@ -102,6 +102,30 @@ class PropagationBackend:
     #: True when :meth:`_examine` should refresh the record's watch memos.
     refreshes_watches = False
 
+    #: Optional acceleration slots the search layer probes at init. A
+    #: backend that owns compiled equivalents of the analysis-layer hot
+    #: functions overrides these (see the native backend); None means "use
+    #: the pure-Python reference" — :func:`~repro.core.constraints.
+    #: universal_reduce` / ``existential_reduce`` and :func:`~repro.core.
+    #: learning.build_model_cube`. Overrides must be exact ports: they sit
+    #: on the learning path, so any deviation breaks decision identity.
+    reduce_clause_fast = None
+    reduce_cube_fast = None
+    native_model_cube = None
+
+    def accelerated_picker(self, policy, keeper):
+        """A compiled branching closure for ``policy``, or None for the
+        pure-Python :func:`~repro.core.heuristics.make_picker` ranking."""
+        return None
+
+    def accelerated_frontier_picker(self, policy, keeper, trail):
+        """A compiled decision function fusing ``trail.available_vars()``
+        with the ``policy`` ranking (no candidate list materialized), or
+        None for the two-step Python path. Fusion is only sound because
+        every ranking ends in a strict ``-v`` tiebreak, making the result
+        independent of frontier enumeration order."""
+        return None
+
     def __init__(self, formula, prefix, config, stats, trail, keeper):
         self.formula = formula
         self.prefix = prefix

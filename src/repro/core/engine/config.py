@@ -16,9 +16,12 @@ from repro.core.heuristics import POLICIES
 
 #: the propagation backends an engine can be built on. "counters" is the
 #: original eager occurrence-counter scheme; "watched" is the lazy
-#: prefix-aware watched-literal scheme. Both are decision-for-decision
-#: identical — see repro.core.engine.backend for the contract.
-ENGINES = ("counters", "watched")
+#: prefix-aware watched-literal scheme; "native" runs the eager scheme
+#: inside the compiled kernel (repro._native) when the optional extension
+#: is built, degrading loudly to "watched" when it is not (see
+#: repro.core.engine.native). All are decision-for-decision identical —
+#: see repro.core.engine.backend for the contract.
+ENGINES = ("counters", "watched", "native")
 
 #: the solver paradigms a config can select. Unlike ENGINES — interchangeable
 #: propagation schemes inside ONE search procedure — a paradigm is a whole
@@ -51,6 +54,20 @@ def default_engine() -> str:
     the task fingerprint.
     """
     return os.environ.get("REPRO_ENGINE", "counters")
+
+
+def default_require_native() -> bool:
+    """Strict-native default: the REPRO_REQUIRE_NATIVE environment knob.
+
+    When truthy (anything but empty/``0``), requesting ``engine="native"``
+    on a machine where the compiled kernel is unavailable raises a
+    structured :class:`repro.core.engine.native.NativeUnavailableError`
+    instead of falling back to the watched backend. Off by default: the
+    fallback is loud (warning + ``SolverStats.engine_fallback``), never
+    silent, so degrading is safe for interactive use while CI perf legs
+    can insist on the real kernel.
+    """
+    return os.environ.get("REPRO_REQUIRE_NATIVE", "") not in ("", "0")
 
 
 def default_paranoid() -> bool:
@@ -96,6 +113,11 @@ class SolverConfig:
     #: all of them. Excluded from checkpoint config digests — only the
     #: search paradigm checkpoints, and its snapshots predate the field.
     paradigm: str = field(default_factory=default_paradigm)
+    #: refuse to run when ``engine="native"`` is requested but the compiled
+    #: kernel is unavailable, instead of degrading to the watched backend.
+    #: Selection-policy only — never changes decisions — so it is excluded
+    #: from checkpoint config digests, like `engine` and `paranoid`.
+    require_native: bool = field(default_factory=default_require_native)
     #: keep the trail's hot-path invariant guards (double-assignment check
     #: in push) active. Diagnostic only — never changes decisions — so it is
     #: excluded from checkpoint config digests, like `engine`.

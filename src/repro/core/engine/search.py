@@ -11,12 +11,20 @@ clauses and cubes arrives as opaque records from the backend.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import List, Optional, Tuple
 
 from repro.core.constraints import Constraint
 from repro.core.engine.backend import CONFLICT, PropagationBackend, Rec
 from repro.core.engine.config import SolverConfig
 from repro.core.engine.counters import CounterBackend
+from repro.core.engine.native import (
+    NativeBackend,
+    NativeFallbackWarning,
+    NativeUnavailableError,
+    native_available,
+    native_import_error,
+)
 from repro.core.engine.trail import Trail
 from repro.core.engine.watched import WatchedBackend
 from repro.core.formula import QBF
@@ -36,7 +44,36 @@ from repro.core.result import Outcome, SolveResult, SolverStats
 BACKENDS = {
     CounterBackend.name: CounterBackend,
     WatchedBackend.name: WatchedBackend,
+    NativeBackend.name: NativeBackend,
 }
+
+
+def resolve_backend(config: SolverConfig, stats: SolverStats) -> type:
+    """Map ``config.engine`` to a backend class, with the native fallback.
+
+    ``native`` on a build without the compiled kernel degrades to the
+    watched backend — recorded in ``stats.engine_fallback`` and announced
+    with a :class:`NativeFallbackWarning`, so no run ever changes engines
+    silently. With ``config.require_native`` (or ``REPRO_REQUIRE_NATIVE=1``)
+    the degradation becomes a structured
+    :class:`~repro.core.engine.native.NativeUnavailableError` instead.
+    """
+    cls = BACKENDS[config.engine]
+    if cls is NativeBackend and not native_available():
+        reason = native_import_error() or "unknown import error"
+        if config.require_native:
+            raise NativeUnavailableError(reason)
+        warnings.warn(
+            "engine 'native' requested but the compiled kernel is "
+            "unavailable (%s); falling back to the pure-Python watched "
+            "backend. Build it with `python setup.py build_ext --inplace`, "
+            "or set REPRO_REQUIRE_NATIVE=1 to make this an error." % reason,
+            NativeFallbackWarning,
+            stacklevel=3,
+        )
+        stats.engine_fallback = WatchedBackend.name
+        return WatchedBackend
+    return cls
 
 
 class SearchEngine:
@@ -82,11 +119,18 @@ class SearchEngine:
         self.trail = Trail(nv, prefix=self.prefix, paranoid=self.config.paranoid)
         self._lit_value = self.trail.lit_value
         self._keeper = ScoreKeeper(self.prefix, decay_interval=self.config.decay_interval)
-        # The branching closure is built once here (not per decision).
-        self._pick = make_picker(self.config.policy, self._keeper)
-        backend_cls = self.backend_override or BACKENDS[self.config.engine]
+        backend_cls = self.backend_override or resolve_backend(self.config, self.stats)
         self.backend: PropagationBackend = backend_cls(
             formula, self.prefix, self.config, self.stats, self.trail, self._keeper
+        )
+        # The branching closure is built once here (not per decision); the
+        # backend supplies a compiled ranking when it carries one, and
+        # optionally a fused frontier-scan + ranking used by _decide.
+        self._pick = self.backend.accelerated_picker(
+            self.config.policy, self._keeper
+        ) or make_picker(self.config.policy, self._keeper)
+        self._frontier_pick = self.backend.accelerated_frontier_picker(
+            self.config.policy, self._keeper, self.trail
         )
         if self._proof is not None:
             self._proof.register_formula(formula)
@@ -100,6 +144,8 @@ class SearchEngine:
             base=self.trail.base,
             level_arr=self.trail.level,
             pos_arr=self.trail.pos,
+            reduce_clause=self.backend.reduce_clause_fast,
+            reduce_cube=self.backend.reduce_cube_fast,
         )
         self._deadline: Optional[float] = None
 
@@ -152,7 +198,10 @@ class SearchEngine:
 
     def _decide(self) -> bool:
         """Branch on a heuristic literal; False when no variable remains."""
-        lit = self._pick(self.trail.available_vars())
+        if self._frontier_pick is not None:
+            lit = self._frontier_pick()
+        else:
+            lit = self._pick(self.trail.available_vars())
         if lit is None:
             return False
         self.stats.decisions += 1
@@ -368,6 +417,8 @@ class SearchEngine:
     def _handle_solution(self, rec: Optional[Rec]) -> Optional[Outcome]:
         if rec is not None:
             cube_lits: Tuple[int, ...] = rec.lits
+        elif self.backend.native_model_cube is not None:
+            cube_lits = self.backend.native_model_cube()
         else:
             cube_lits = build_model_cube(
                 [r.constraint for r in self.backend.orig_clauses],

@@ -108,6 +108,8 @@ class TrailView:
         base=0,
         level_arr=None,
         pos_arr=None,
+        reduce_clause=None,
+        reduce_cube=None,
     ):
         self.value = value
         self.level_of = level_of
@@ -118,6 +120,11 @@ class TrailView:
         self.base = base
         self.level_arr = level_arr
         self.pos_arr = pos_arr
+        #: optional compiled reductions (exact ports of universal_reduce /
+        #: existential_reduce over this prefix) supplied by the engine when
+        #: its backend carries them; None falls back to the Python reference.
+        self.reduce_clause = reduce_clause
+        self.reduce_cube = reduce_cube
 
 
 def _clause_backjump(work: Sequence[int], view: TrailView) -> Optional[AnalysisOutcome]:
@@ -289,7 +296,11 @@ def analyze_conflict(
     value = view.value
     reason_of = view.reason_of
     pos_of = view.pos_arr.__getitem__ if view.pos_arr is not None else view.pos_of
-    work: Tuple[int, ...] = universal_reduce(tuple(conflict), prefix)
+    reduce_c = getattr(view, "reduce_clause", None)
+    if reduce_c is None:
+        def reduce_c(ls):
+            return universal_reduce(ls, prefix)
+    work: Tuple[int, ...] = reduce_c(tuple(conflict))
     if trace is not None:
         trace.reduced(work)
     banned: Set[int] = set()
@@ -323,7 +334,7 @@ def analyze_conflict(
         if resolvent is None:
             banned.add(pivot)
             continue
-        work = universal_reduce(resolvent, prefix)
+        work = reduce_c(resolvent)
         if trace is not None:
             trace.resolved(reason.lits, pivot_var, work)
 
@@ -341,7 +352,11 @@ def analyze_solution(
     value = view.value
     reason_of = view.reason_of
     pos_of = view.pos_arr.__getitem__ if view.pos_arr is not None else view.pos_of
-    work: Tuple[int, ...] = existential_reduce(tuple(model_cube), prefix)
+    reduce_t = getattr(view, "reduce_cube", None)
+    if reduce_t is None:
+        def reduce_t(ls):
+            return existential_reduce(ls, prefix)
+    work: Tuple[int, ...] = reduce_t(tuple(model_cube))
     if trace is not None:
         trace.reduced(work)
     banned: Set[int] = set()
@@ -374,7 +389,7 @@ def analyze_solution(
         if resolvent is None:
             banned.add(pivot)
             continue
-        work = existential_reduce(resolvent, prefix)
+        work = reduce_t(resolvent)
         if trace is not None:
             trace.resolved(reason.lits, pivot_var, work)
 

@@ -72,6 +72,12 @@ class SolverStats:
     cube_visits: int = 0
     #: ...and watch-literal repairs (always 0 under the counter backend).
     watcher_swaps: int = 0
+    #: engine-selection notice: the backend actually used when the requested
+    #: one was unavailable (e.g. ``"watched"`` after ``engine="native"`` on
+    #: a build without the compiled kernel), else "". Never set silently —
+    #: selection also emits a NativeFallbackWarning. Engine metadata, not a
+    #: work counter: excluded from cross-backend stat comparisons.
+    engine_fallback: str = ""
 
     @property
     def backtracks(self) -> int:

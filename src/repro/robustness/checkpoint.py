@@ -261,7 +261,14 @@ def capture(engine, seconds: float = 0.0, extra: Optional[Dict[str, Any]] = None
         formula_digest=formula_digest(engine.formula),
         config_digest=config_digest(engine.config),
         seconds=seconds,
-        stats={f.name: getattr(engine.stats, f.name) for f in dataclasses.fields(SolverStats)},
+        stats={
+            # Counters only: engine_fallback (a string) describes how *this*
+            # run resolved its backend, which the resuming process decides
+            # afresh for itself.
+            f.name: getattr(engine.stats, f.name)
+            for f in dataclasses.fields(SolverStats)
+            if isinstance(getattr(engine.stats, f.name), int)
+        },
         scores=dict(keeper.score),
         since_decay=keeper._since_decay,
         learned_clauses=list(backend.learned_clauses.keys()),
@@ -354,6 +361,10 @@ def restore(engine, ckpt: Checkpoint) -> float:
 
     # Stats last: reconstruction above bumped counters (learned_*,
     # propagations, max_trail); the checkpoint values are authoritative.
+    # Counters a (pre-upgrade) checkpoint does not carry keep their dataclass
+    # default.  Non-counter fields (engine_fallback, a string) are never
+    # checkpointed and keep whatever the resuming engine decided for itself.
     for f in dataclasses.fields(SolverStats):
-        setattr(engine.stats, f.name, ckpt.stats.get(f.name, 0))
+        if isinstance(getattr(engine.stats, f.name), int):
+            setattr(engine.stats, f.name, ckpt.stats.get(f.name, f.default))
     return ckpt.seconds

@@ -7,8 +7,13 @@ sequence, the same trail at each decision, the same outcome and the same
 search statistics (modulo the explicitly backend-dependent visit/swap
 counters). These tests check exactly that, on random non-prenex QBFs and
 their prenexings — i.e. QUBE(PO) and QUBE(TO) alike — with the pure-literal
-rule both on and off, and additionally that the watched engine's runs
-certify (its clause/term resolution derivations check out independently).
+rule both on and off, and additionally that the watched and native engines'
+runs certify (their clause/term resolution derivations check out
+independently).
+
+The native (compiled) backend joins the parametrization whenever the
+extension is importable; on builds without it those cases skip loudly
+rather than pass vacuously.
 """
 
 import dataclasses
@@ -16,13 +21,29 @@ import random
 
 import pytest
 
+from repro.core.engine.native import native_available
 from repro.core.result import Outcome
 from repro.core.solver import QdpllSolver, SolverConfig
 from repro.generators.random_qbf import random_qbf
 from repro.prenexing import prenex
 
 #: stats that are allowed — expected, even — to differ between backends.
-BACKEND_DEPENDENT = ("clause_visits", "cube_visits", "watcher_swaps")
+BACKEND_DEPENDENT = (
+    "clause_visits",
+    "cube_visits",
+    "watcher_swaps",
+    "engine_fallback",
+)
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="compiled kernel (repro._native) not built"
+)
+
+#: every non-reference backend, each checked against the counters reference.
+CHALLENGERS = [
+    "watched",
+    pytest.param("native", marks=needs_native),
+]
 
 
 def _traced_run(formula, config):
@@ -48,9 +69,10 @@ def _comparable_stats(stats):
     return out
 
 
+@pytest.mark.parametrize("challenger", CHALLENGERS)
 @pytest.mark.parametrize("pure", [True, False], ids=["pure-on", "pure-off"])
 @pytest.mark.parametrize("seed", range(30))
-def test_backends_identical_decision_sequences(seed, pure):
+def test_backends_identical_decision_sequences(seed, pure, challenger):
     rng = random.Random(seed)
     phi = random_qbf(
         rng,
@@ -63,11 +85,11 @@ def test_backends_identical_decision_sequences(seed, pure):
     )
     for variant in (phi, prenex(phi)):  # QUBE(PO) and QUBE(TO)
         runs = {}
-        for engine in ("counters", "watched"):
+        for engine in ("counters", challenger):
             config = SolverConfig(engine=engine, pure_literals=pure, max_decisions=3000)
             runs[engine] = _traced_run(variant, config)
         ref_result, ref_snapshots = runs["counters"]
-        new_result, new_snapshots = runs["watched"]
+        new_result, new_snapshots = runs[challenger]
         assert new_result.outcome is ref_result.outcome
         assert new_snapshots == ref_snapshots, (
             "trail diverged at decision %d"
@@ -80,13 +102,15 @@ def test_backends_identical_decision_sequences(seed, pure):
         assert _comparable_stats(new_result.stats) == _comparable_stats(ref_result.stats)
 
 
+@pytest.mark.parametrize("challenger", CHALLENGERS)
 @pytest.mark.parametrize("seed", range(8))
-def test_watched_runs_certify(seed):
-    """The watched engine's certified runs verify end to end.
+def test_non_reference_runs_certify(seed, challenger):
+    """The watched and native engines' certified runs verify end to end.
 
     Certification forces the pure-literal rule off, so this also pins the
     watched backend's fully lazy fast path (no occurrence walks at
-    assign/backtrack at all) against the independent proof checker.
+    assign/backtrack at all) — and the native kernel's compiled propagation
+    and reduction fast paths — against the independent proof checker.
     """
     from repro.certify import (
         MemorySink,
@@ -106,7 +130,7 @@ def test_watched_runs_certify(seed):
         clause_len=3,
     )
     outcomes = {}
-    for engine in ("counters", "watched"):
+    for engine in ("counters", challenger):
         config = certifying_config(SolverConfig(engine=engine, max_decisions=3000))
         sink = MemorySink()
         result = QdpllSolver(phi, config, proof=ProofLogger(sink)).solve()
@@ -114,7 +138,7 @@ def test_watched_runs_certify(seed):
         report = check_certificate(phi, sink)
         assert report.status == "verified", report
         outcomes[engine] = result.outcome
-    assert outcomes["counters"] is outcomes["watched"]
+    assert outcomes["counters"] is outcomes[challenger]
 
 
 def test_stats_volatility_is_limited_to_visit_counters():
